@@ -1,0 +1,71 @@
+// Ablation B: the intermediate-data size estimator (Eq. 3). Compares
+//   current   - use in-progress sizes as-is (Coupling Scheduler's choice,
+//               the strawman of Sec. II-B-2's worked example),
+//   projected - the paper's Eq. 3 (A_jf * B_j / d_read),
+//   oracle    - ground truth (not realisable; upper bound),
+// under increasingly non-linear map emission (alpha), where early
+// in-progress sizes are most misleading.
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "mrs/common/strfmt.hpp"
+#include "mrs/common/csv.hpp"
+#include "mrs/common/stats.hpp"
+#include "mrs/common/table.hpp"
+
+int main() {
+  using namespace mrs;
+  using core::EstimatorMode;
+  bench::print_header("Ablation B", "intermediate-size estimator (Eq. 3)");
+
+  // Shuffle-heavy jobs so reduce placement (and hence estimation) matters.
+  std::vector<workload::JobDescription> jobs;
+  const auto& cat = workload::table2_catalog();
+  for (int i : {0, 2, 10, 12}) jobs.push_back(cat[i]);  // WC+TS 10/30 GB
+
+  AsciiTable table({"alpha", "estimator", "mean JCT (s)", "reduce cost"});
+  for (std::size_t c = 2; c <= 3; ++c) table.set_right_aligned(c);
+  std::filesystem::create_directories(bench::kOutputDir);
+  CsvWriter csv(std::string(bench::kOutputDir) + "/ablation_estimator.csv",
+                {"alpha", "estimator", "mean_jct", "reduce_cost"});
+
+  for (double alpha : {1.0, 2.0, 3.0}) {
+    for (auto mode : {EstimatorMode::kCurrent, EstimatorMode::kProjected,
+                      EstimatorMode::kOracle}) {
+      auto cfg = driver::paper_config(jobs, driver::SchedulerKind::kPna,
+                                      bench::kSeed);
+      cfg.pna.estimator = mode;
+      // Early reduce launches make estimation quality matter most.
+      cfg.engine.reduce_slowstart = 0.02;
+      cfg.max_sim_time = 50000.0;
+      // Apply the emission nonlinearity to every job profile.
+      // (WorkloadConfig has no profile override, so patch specs via the
+      // description route: emit_nonlinearity is a profile parameter.)
+      std::printf("[run  ] alpha=%.1f estimator=%s...\n", alpha,
+                  to_string(mode));
+      std::fflush(stdout);
+      // Rebuild job specs with the alpha override by using a custom config:
+      // paper_config keeps profiles internal, so we adjust through the
+      // exposed knob below.
+      cfg.emit_nonlinearity_override = alpha;
+      const auto r = driver::run_experiment(cfg);
+      RunningStats jct;
+      for (const auto& j : r.job_records) jct.add(j.completion_time());
+      const double rcost = metrics::mean_placement_cost(
+          r.task_records, metrics::TaskFilter::kReducesOnly);
+      table.add_row({strf("%.1f", alpha), to_string(mode),
+                     strf("%.1f", jct.mean()), strf("%.3g", rcost)});
+      csv.row({strf("%.1f", alpha), to_string(mode),
+               strf("%.2f", jct.mean()), strf("%.6g", rcost)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "Expected shape: at alpha=1 projected == oracle (Eq. 3 is exact for\n"
+      "linear emitters); as alpha grows, 'current' increasingly misranks\n"
+      "placements (the Sec. II-B-2 example) while 'projected' degrades\n"
+      "more gracefully.\n");
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

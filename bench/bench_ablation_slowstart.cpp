@@ -1,0 +1,62 @@
+// Slowstart ablation: when may reduces launch? Hadoop's
+// mapred.reduce.slowstart.completed.maps governs the shuffle-overlap vs
+// slot-hoarding trade-off that motivates the Coupling Scheduler (and that
+// the paper's probabilistic immediate assignment leans on). Sweep the gate
+// for Fair and Probabilistic.
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "mrs/common/csv.hpp"
+#include "mrs/common/stats.hpp"
+#include "mrs/common/strfmt.hpp"
+#include "mrs/common/table.hpp"
+
+int main() {
+  using namespace mrs;
+  bench::print_header("Slowstart ablation",
+                      "reduce launch gate vs completion time");
+
+  std::vector<workload::JobDescription> jobs;
+  const auto& cat = workload::table2_catalog();
+  for (int i : {0, 2, 10, 12}) jobs.push_back(cat[i]);  // shuffle-heavy
+
+  AsciiTable table({"slowstart", "fair JCT (s)", "pna JCT (s)",
+                    "fair reduce-util", "pna reduce-util"});
+  for (std::size_t c = 0; c <= 4; ++c) table.set_right_aligned(c);
+  std::filesystem::create_directories(bench::kOutputDir);
+  CsvWriter csv(std::string(bench::kOutputDir) + "/ablation_slowstart.csv",
+                {"slowstart", "scheduler", "mean_jct", "reduce_util"});
+
+  for (double slowstart : {0.0, 0.05, 0.25, 0.5, 0.75, 0.95}) {
+    double jct[2] = {0, 0}, util[2] = {0, 0};
+    int idx = 0;
+    for (auto kind :
+         {driver::SchedulerKind::kFair, driver::SchedulerKind::kPna}) {
+      auto cfg = driver::paper_config(jobs, kind, bench::kSeed);
+      cfg.engine.reduce_slowstart = slowstart;
+      cfg.max_sim_time = 100000.0;
+      std::printf("[run  ] slowstart=%.2f / %s...\n", slowstart,
+                  driver::to_string(kind));
+      std::fflush(stdout);
+      const auto r = driver::run_experiment(cfg);
+      RunningStats stats;
+      for (const auto& j : r.job_records) stats.add(j.completion_time());
+      jct[idx] = stats.mean();
+      util[idx] = r.utilization.reduce_utilization();
+      csv.row({strf("%.2f", slowstart), driver::to_string(kind),
+               strf("%.2f", stats.mean()), strf("%.4f", util[idx])});
+      ++idx;
+    }
+    table.add_row({strf("%.2f", slowstart), strf("%.1f", jct[0]),
+                   strf("%.1f", jct[1]), strf("%.1f%%", 100.0 * util[0]),
+                   strf("%.1f%%", 100.0 * util[1])});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "Early launch (low slowstart) overlaps shuffle with maps but hoards\n"
+      "bottleneck reduce slots; late launch serializes. The sweet spot\n"
+      "motivates Coupling's progress-coupled launching.\n");
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

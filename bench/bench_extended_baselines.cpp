@@ -1,0 +1,62 @@
+// Extended baseline comparison: the paper evaluates against Fair and
+// Coupling; its related-work section also discusses FIFO, LARTS [4] and
+// Quincy [20]. This bench runs all six schedulers on one mixed batch.
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "mrs/common/csv.hpp"
+#include "mrs/common/stats.hpp"
+#include "mrs/common/strfmt.hpp"
+#include "mrs/common/table.hpp"
+
+int main() {
+  using namespace mrs;
+  bench::print_header("Extended baselines",
+                      "six schedulers on a mixed Table II batch");
+
+  std::vector<workload::JobDescription> jobs;
+  const auto& cat = workload::table2_catalog();
+  for (int i : {0, 2, 10, 12, 20, 22}) jobs.push_back(cat[i]);
+
+  const std::vector<driver::SchedulerKind> kinds = {
+      driver::SchedulerKind::kFifo,     driver::SchedulerKind::kFair,
+      driver::SchedulerKind::kCoupling, driver::SchedulerKind::kLarts,
+      driver::SchedulerKind::kMinCost,  driver::SchedulerKind::kPna};
+
+  std::vector<driver::ExperimentConfig> cfgs;
+  for (auto kind : kinds) {
+    cfgs.push_back(driver::paper_config(jobs, kind, bench::kSeed));
+  }
+  std::printf("[run  ] %zu schedulers x %zu jobs...\n", kinds.size(),
+              jobs.size());
+  std::fflush(stdout);
+  const auto results = driver::run_experiments(cfgs);
+
+  AsciiTable table({"scheduler", "mean JCT (s)", "p90 JCT (s)",
+                    "makespan (s)", "local %", "reduce cost"});
+  for (std::size_t c = 1; c <= 5; ++c) table.set_right_aligned(c);
+  std::filesystem::create_directories(bench::kOutputDir);
+  CsvWriter csv(std::string(bench::kOutputDir) + "/extended_baselines.csv",
+                {"scheduler", "mean_jct", "p90_jct", "makespan",
+                 "local_pct", "reduce_cost"});
+  for (const auto& r : results) {
+    RunningStats jct;
+    for (const auto& j : r.job_records) jct.add(j.completion_time());
+    const Cdf cdf = metrics::job_completion_cdf(r.job_records);
+    const auto loc = metrics::locality_summary(r.task_records,
+                                               metrics::TaskFilter::kAll);
+    const double rcost = metrics::mean_placement_cost(
+        r.task_records, metrics::TaskFilter::kReducesOnly);
+    table.add_row({r.scheduler_name, strf("%.1f", jct.mean()),
+                   strf("%.1f", cdf.value_at(0.9)),
+                   strf("%.1f", r.makespan),
+                   strf("%.1f", loc.node_local_pct), strf("%.3g", rcost)});
+    csv.row({r.scheduler_name, strf("%.2f", jct.mean()),
+             strf("%.2f", cdf.value_at(0.9)), strf("%.2f", r.makespan),
+             strf("%.2f", loc.node_local_pct), strf("%.6g", rcost)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

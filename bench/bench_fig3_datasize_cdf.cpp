@@ -1,0 +1,57 @@
+// Fig. 3 reproduction: CDF of input data size and shuffle data size over
+// the 30 Table II jobs, plus the paper's headline fractions ("about 60
+// percent of jobs have more than 50GB shuffle data size, and about 20
+// percent ... more than 100GB; about 20 percent ... less than 10GB").
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "mrs/common/strfmt.hpp"
+#include "mrs/common/csv.hpp"
+#include "mrs/common/stats.hpp"
+#include "mrs/dfs/block_store.hpp"
+
+int main() {
+  using namespace mrs;
+  bench::print_header("Fig. 3", "CDF of input and shuffle data size");
+
+  const auto topo = net::make_single_rack(60);
+  dfs::BlockStore store(60);
+  dfs::BlockPlacer placer(&topo, Rng(bench::kSeed).split("placement"));
+  workload::WorkloadConfig wcfg;
+  const auto specs =
+      workload::make_batch(workload::table2_catalog(), store, placer, wcfg);
+
+  Cdf input_cdf, shuffle_cdf;
+  for (const auto& spec : specs) {
+    input_cdf.add(units::to_GiB(spec.total_input()));
+    shuffle_cdf.add(units::to_GiB(spec.total_input() * spec.map_selectivity));
+  }
+
+  const std::vector<std::pair<std::string, const Cdf*>> series = {
+      {"input", &input_cdf}, {"shuffle", &shuffle_cdf}};
+  std::printf("%s\n",
+              render_cdf_ascii(series, 72, 18, "data size (GiB)").c_str());
+
+  const double over50 = 1.0 - shuffle_cdf.fraction_at_or_below(50.0);
+  const double over100 = 1.0 - shuffle_cdf.fraction_at_or_below(100.0);
+  const double under10 = shuffle_cdf.fraction_at_or_below(10.0);
+  std::printf("shuffle > 50 GiB: %4.1f%% of jobs   (paper: ~60%%)\n",
+              100.0 * over50);
+  std::printf("shuffle > 100 GiB: %4.1f%% of jobs  (paper: ~20%%)\n",
+              100.0 * over100);
+  std::printf("shuffle < 10 GiB: %4.1f%% of jobs   (paper: ~20%%)\n",
+              100.0 * under10);
+
+  std::filesystem::create_directories(bench::kOutputDir);
+  CsvWriter csv(std::string(bench::kOutputDir) + "/fig3_datasize_cdf.csv",
+                {"series", "gib", "cdf"});
+  for (const auto& p : input_cdf.points()) {
+    csv.row({"input", strf("%.3f", p.value), strf("%.4f", p.fraction)});
+  }
+  for (const auto& p : shuffle_cdf.points()) {
+    csv.row({"shuffle", strf("%.3f", p.value), strf("%.4f", p.fraction)});
+  }
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

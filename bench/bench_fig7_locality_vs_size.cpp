@@ -1,0 +1,70 @@
+// Fig. 7 reproduction: percentage of map tasks with local data as a
+// function of the input data size (10-100 GB), per scheduler. Each point
+// averages the Wordcount, Terasort and Grep jobs of that size.
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+#include "bench_common.hpp"
+#include "mrs/common/strfmt.hpp"
+#include "mrs/common/csv.hpp"
+#include "mrs/common/table.hpp"
+
+int main() {
+  using namespace mrs;
+  bench::print_header("Fig. 7",
+                      "% of map tasks with local data vs input size");
+
+  const auto runs = bench::paper_runs();
+  const auto& catalog = workload::table2_catalog();
+
+  // nominal GB -> scheduler -> (local maps, total maps)
+  std::map<double,
+           std::map<driver::SchedulerKind, std::pair<std::size_t,
+                                                     std::size_t>>>
+      buckets;
+  for (const auto& [kind, result] : runs.merged) {
+    // Job names encode the nominal size; match through the catalog.
+    std::map<std::string, double> size_of;
+    for (const auto& d : catalog) size_of[d.name] = d.nominal_gb;
+    std::map<std::size_t, double> job_size;  // JobId -> GB
+    for (const auto& j : result.job_records) {
+      job_size[j.id.value()] = size_of.at(j.name);
+    }
+    for (const auto& t : result.task_records) {
+      if (!t.is_map) continue;
+      auto& [local, total] = buckets[job_size.at(t.job.value())][kind];
+      ++total;
+      if (t.locality == mapreduce::Locality::kNodeLocal) ++local;
+    }
+  }
+
+  AsciiTable table({"Input (GB)", "Probabilistic", "Coupling", "Fair"});
+  for (std::size_t c = 0; c <= 3; ++c) table.set_right_aligned(c);
+  std::filesystem::create_directories(bench::kOutputDir);
+  CsvWriter csv(std::string(bench::kOutputDir) +
+                    "/fig7_locality_vs_size.csv",
+                {"input_gb", "scheduler", "local_map_pct"});
+  for (const auto& [gb, per_sched] : buckets) {
+    auto pct = [&](driver::SchedulerKind k) {
+      const auto it = per_sched.find(k);
+      if (it == per_sched.end() || it->second.second == 0) return 0.0;
+      return 100.0 * double(it->second.first) / double(it->second.second);
+    };
+    table.add_row({strf("%.0f", gb),
+                   strf("%.1f", pct(driver::SchedulerKind::kPna)),
+                   strf("%.1f", pct(driver::SchedulerKind::kCoupling)),
+                   strf("%.1f", pct(driver::SchedulerKind::kFair))});
+    for (auto kind : bench::schedulers()) {
+      csv.row({strf("%.0f", gb), driver::to_string(kind),
+               strf("%.2f", pct(kind))});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "Paper shape: the probabilistic scheduler sustains the highest map\n"
+      "locality across input sizes, coupling second, fair third. See\n"
+      "EXPERIMENTS.md for the delay-scheduling caveat on the Fair column.\n");
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Micro-benchmarks (google-benchmark): the per-heartbeat costs of the
+// scheduler machinery — Algorithm 1/2 decision latency, cost-model
+// evaluation, flow-model rate recomputation and topology routing — at the
+// paper's cluster scale (60 nodes, jobs up to ~930 maps / ~200 reduces).
+#include <benchmark/benchmark.h>
+
+#include "mrs/core/cost_model.hpp"
+#include "mrs/core/pna_scheduler.hpp"
+#include "mrs/core/probability.hpp"
+#include "mrs/dfs/block_store.hpp"
+#include "mrs/mapreduce/engine.hpp"
+#include "mrs/net/distance.hpp"
+#include "mrs/net/flow.hpp"
+#include "mrs/sim/network_service.hpp"
+#include "mrs/sim/simulation.hpp"
+
+namespace {
+
+using namespace mrs;
+
+constexpr double kGb = 1e9 / 8.0;
+
+struct BenchCluster {
+  explicit BenchCluster(std::size_t maps, std::size_t reduces)
+      : topo(net::make_single_rack(60, units::Gbps(1))),
+        store(60),
+        placer(&topo, Rng(1)),
+        clstr(&topo, {}, Rng(2)),
+        network(&sim, &topo),
+        distance(topo),
+        engine(&sim, &clstr, &store, &network, &distance, {}) {
+    mapreduce::JobSpec spec;
+    spec.name = "bench";
+    spec.reduce_count = reduces;
+    for (std::size_t j = 0; j < maps; ++j) {
+      const BlockId b = store.add_block(
+          128.0 * units::kMiB,
+          placer.place(2, dfs::PlacementPolicy::kHdfsDefault));
+      spec.map_tasks.push_back({b, 128.0 * units::kMiB});
+    }
+    job = &engine.submit(std::move(spec), Rng(3));
+    // Mark half of the maps running/finished so reduce costs have sources.
+    for (std::size_t j = 0; j < maps / 2; ++j) {
+      auto& m = job->map_state(j);
+      m.node = NodeId(j % 60);
+      m.phase = j % 3 == 0 ? mapreduce::MapPhase::kDone
+                           : mapreduce::MapPhase::kComputing;
+      m.compute_start = 0.0;
+      m.compute_duration = 20.0;
+    }
+  }
+
+  sim::Simulation sim;
+  net::Topology topo;
+  dfs::BlockStore store;
+  dfs::BlockPlacer placer;
+  cluster::Cluster clstr;
+  sim::NetworkService network;
+  net::HopDistanceProvider distance;
+  mapreduce::Engine engine;
+  mapreduce::JobRun* job = nullptr;
+};
+
+void BM_MapCostEq1(benchmark::State& state) {
+  BenchCluster bc(930, 197);
+  std::size_t j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bc.engine.map_cost(*bc.job, (930 / 2) + (j++ % 400), NodeId(7)));
+  }
+}
+BENCHMARK(BM_MapCostEq1);
+
+void BM_IntermediateSnapshot(benchmark::State& state) {
+  BenchCluster bc(static_cast<std::size_t>(state.range(0)), 197);
+  for (auto _ : state) {
+    core::IntermediateSnapshot snap(*bc.job, 10.0,
+                                    core::EstimatorMode::kProjected, 60);
+    benchmark::DoNotOptimize(snap.total_for(0));
+  }
+}
+BENCHMARK(BM_IntermediateSnapshot)->Arg(100)->Arg(500)->Arg(930);
+
+void BM_ReduceCostEvaluator(benchmark::State& state) {
+  BenchCluster bc(930, static_cast<std::size_t>(state.range(0)));
+  const auto candidates = bc.clstr.nodes_with_free_reduce_slots();
+  for (auto _ : state) {
+    core::ReduceCostEvaluator eval(bc.engine, *bc.job,
+                                   core::EstimatorMode::kProjected,
+                                   candidates);
+    double sum = 0.0;
+    for (std::size_t f = 0; f < bc.job->reduce_count(); ++f) {
+      sum += eval.average_cost(f);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ReduceCostEvaluator)->Arg(50)->Arg(197);
+
+void BM_ProbabilityModel(benchmark::State& state) {
+  double c = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::assignment_probability(
+        c, 2.0, core::ProbabilityModel::kExponential));
+    c += 0.001;
+    if (c > 10.0) c = 1.0;
+  }
+}
+BENCHMARK(BM_ProbabilityModel);
+
+void BM_PnaHeartbeat(benchmark::State& state) {
+  BenchCluster bc(930, 197);
+  core::PnaScheduler pna({}, Rng(4));
+  std::size_t node = 0;
+  for (auto _ : state) {
+    // One full heartbeat decision (map + reduce side) on a busy job.
+    pna.on_heartbeat(bc.engine, NodeId(node));
+    node = (node + 1) % 60;
+    state.PauseTiming();
+    // Undo any placements so the workload stays constant-ish.
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_PnaHeartbeat)->Iterations(200);
+
+void BM_FlowRecompute(benchmark::State& state) {
+  const auto topo = net::make_single_rack(60, units::Gbps(1));
+  net::FlowModel fm(&topo);
+  Rng rng(5);
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < flows; ++i) {
+    const NodeId a(rng.index(60));
+    NodeId b(rng.index(60));
+    if (b == a) b = NodeId((a.value() + 1) % 60);
+    fm.start(a, b, 1000.0 * kGb, 0.0);
+  }
+  for (auto _ : state) {
+    fm.recompute_rates();
+  }
+}
+BENCHMARK(BM_FlowRecompute)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_TopologyRouting(benchmark::State& state) {
+  net::TreeTopologyConfig cfg;
+  cfg.racks = 4;
+  cfg.hosts_per_rack = 15;
+  for (auto _ : state) {
+    const auto topo = net::make_multi_rack_tree(cfg);
+    benchmark::DoNotOptimize(topo.hops(NodeId(0), NodeId(59)));
+  }
+}
+BENCHMARK(BM_TopologyRouting);
+
+}  // namespace
+
+BENCHMARK_MAIN();

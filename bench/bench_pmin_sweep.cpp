@@ -1,0 +1,60 @@
+// P_min selection experiment (Sec. III): the paper runs 10 Wordcount jobs
+// repeatedly with different P_min values and picks "the highest P_min
+// value at the time when all jobs finished successfully". This bench
+// reproduces that methodology and exposes the completion cliff at
+// P_min = 1 - 1/e ~ 0.632 (above it, uniform-cost reduce offers are always
+// rejected and jobs never finish).
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "mrs/common/strfmt.hpp"
+#include "mrs/common/csv.hpp"
+#include "mrs/common/stats.hpp"
+#include "mrs/common/table.hpp"
+
+int main() {
+  using namespace mrs;
+  bench::print_header("P_min sweep",
+                      "10 Wordcount jobs under varying P_min (Sec. III)");
+
+  const auto jobs = workload::table2_batch(mapreduce::JobKind::kWordcount);
+  const std::vector<double> sweep = {0.0, 0.1, 0.2, 0.3, 0.4,
+                                     0.5, 0.6, 0.63, 0.7};
+
+  AsciiTable table({"P_min", "completed", "mean JCT (s)", "makespan (s)",
+                    "map skips", "reduce skips"});
+  for (std::size_t c = 0; c <= 5; ++c) table.set_right_aligned(c);
+  std::filesystem::create_directories(bench::kOutputDir);
+  CsvWriter csv(std::string(bench::kOutputDir) + "/pmin_sweep.csv",
+                {"p_min", "completed", "mean_jct", "makespan"});
+
+  double best_pmin = 0.0;
+  for (double p_min : sweep) {
+    auto cfg = driver::paper_config(jobs, driver::SchedulerKind::kPna,
+                                    bench::kSeed);
+    cfg.pna.p_min = p_min;
+    // Bounded run: past the cliff the simulation would idle forever.
+    cfg.max_sim_time = 20000.0;
+    std::printf("[run  ] p_min=%.2f...\n", p_min);
+    std::fflush(stdout);
+    const auto r = driver::run_experiment(cfg);
+    RunningStats jct;
+    for (const auto& j : r.job_records) jct.add(j.completion_time());
+    table.add_row({strf("%.2f", p_min), r.completed ? "yes" : "NO",
+                   r.completed ? strf("%.1f", jct.mean()) : "-",
+                   r.completed ? strf("%.1f", r.makespan) : "-", "", ""});
+    csv.row({strf("%.2f", p_min), r.completed ? "1" : "0",
+             strf("%.2f", jct.mean()), strf("%.2f", r.makespan)});
+    if (r.completed) best_pmin = std::max(best_pmin, p_min);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "Highest P_min with all jobs completing: %.2f (the paper selected\n"
+      "0.4 on its testbed with the same methodology). The cliff sits at\n"
+      "1 - 1/e ~ 0.632: in a uniform single rack every non-local offer has\n"
+      "P ~ 0.632, so any higher threshold rejects them all.\n",
+      best_pmin);
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Running-tasks-over-time view (the paper's introduction, citing [5]):
+// delay-based scheduling can leave "the number of map tasks running
+// simultaneously far below a desired level", while eager probabilistic
+// assignment keeps slots busy. One ASCII timeline per scheduler, from the
+// cached standard runs.
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "mrs/common/csv.hpp"
+#include "mrs/common/strfmt.hpp"
+
+namespace {
+
+// Sparkline-style row: one glyph per bucket, scaled to the peak.
+std::string render_row(const std::vector<mrs::metrics::TimelinePoint>& tl,
+                       std::size_t columns, std::size_t peak) {
+  static const char* kGlyphs[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  std::string out;
+  if (tl.empty() || peak == 0) return out;
+  for (std::size_t c = 0; c < columns; ++c) {
+    const std::size_t idx = c * tl.size() / columns;
+    const double frac =
+        static_cast<double>(tl[idx].running) / static_cast<double>(peak);
+    out += kGlyphs[std::min<std::size_t>(7, std::size_t(frac * 7.999))];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mrs;
+  bench::print_header("Running tasks timeline",
+                      "map-slot occupancy over time (Wordcount batch)");
+
+  // One batch (the three batches run separately in the paper; merging
+  // them would overlay unrelated timelines). Wordcount is the
+  // shuffle-heavy representative.
+  constexpr Seconds kStep = 5.0;
+
+  std::filesystem::create_directories(bench::kOutputDir);
+  CsvWriter csv(std::string(bench::kOutputDir) + "/running_tasks.csv",
+                {"scheduler", "time", "running_maps", "running_reduces"});
+
+  std::size_t peak = 0;
+  std::map<driver::SchedulerKind,
+           std::vector<metrics::TimelinePoint>> map_tl, red_tl;
+  for (auto kind : bench::schedulers()) {
+    const auto result =
+        bench::standard_run(kind, mapreduce::JobKind::kWordcount);
+    map_tl[kind] = metrics::running_tasks_timeline(
+        result.task_records, metrics::TaskFilter::kMapsOnly, kStep);
+    red_tl[kind] = metrics::running_tasks_timeline(
+        result.task_records, metrics::TaskFilter::kReducesOnly, kStep);
+    peak = std::max(peak, metrics::summarize_timeline(map_tl[kind])
+                              .peak_running);
+  }
+
+  std::printf("running MAP tasks (height scaled to peak %zu):\n", peak);
+  for (auto kind : bench::schedulers()) {
+    std::printf("%-14s %s\n", driver::to_string(kind),
+                render_row(map_tl[kind], 64, peak).c_str());
+  }
+
+  std::printf("\n%-14s %12s %10s %14s %12s\n", "scheduler", "mean maps",
+              "peak maps", "mean reduces", "peak reduces");
+  for (auto kind : bench::schedulers()) {
+    const auto ms = metrics::summarize_timeline(map_tl[kind]);
+    const auto rs = metrics::summarize_timeline(red_tl[kind]);
+    std::printf("%-14s %12.1f %10zu %14.1f %12zu\n",
+                driver::to_string(kind), ms.mean_running, ms.peak_running,
+                rs.mean_running, rs.peak_running);
+    for (std::size_t i = 0; i < map_tl[kind].size(); ++i) {
+      csv.row({driver::to_string(kind),
+               strf("%.1f", map_tl[kind][i].time),
+               strf("%zu", map_tl[kind][i].running),
+               strf("%zu", i < red_tl[kind].size()
+                               ? red_tl[kind][i].running
+                               : 0)});
+    }
+  }
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "mrs/cluster/cluster.hpp"
+
+namespace mrs::cluster {
+
+Cluster::Cluster(const net::Topology* topo, const NodeConfig& cfg, Rng rng)
+    : topo_(topo) {
+  MRS_REQUIRE(topo_ != nullptr);
+  MRS_REQUIRE(cfg.map_slots >= 1);
+  MRS_REQUIRE(cfg.disk_rate > 0.0);
+  MRS_REQUIRE(cfg.speed_spread >= 0.0 && cfg.speed_spread < 1.0);
+  nodes_.reserve(topo_->host_count());
+  for (std::size_t i = 0; i < topo_->host_count(); ++i) {
+    NodeState s;
+    s.map_slots = cfg.map_slots;
+    s.reduce_slots = cfg.reduce_slots;
+    s.disk_rate = cfg.disk_rate;
+    s.speed_factor =
+        cfg.speed_spread > 0.0
+            ? rng.uniform(1.0 - cfg.speed_spread, 1.0 + cfg.speed_spread)
+            : 1.0;
+    nodes_.push_back(s);
+    total_map_ += cfg.map_slots;
+    total_reduce_ += cfg.reduce_slots;
+  }
+}
+
+void Cluster::occupy_map_slot(NodeId id) {
+  NodeState& n = mutable_node(id);
+  MRS_REQUIRE(n.alive);
+  MRS_REQUIRE(n.busy_map_slots < n.map_slots);
+  ++n.busy_map_slots;
+}
+
+void Cluster::release_map_slot(NodeId id) {
+  NodeState& n = mutable_node(id);
+  MRS_REQUIRE(n.busy_map_slots > 0);
+  --n.busy_map_slots;
+}
+
+void Cluster::occupy_reduce_slot(NodeId id) {
+  NodeState& n = mutable_node(id);
+  MRS_REQUIRE(n.alive);
+  MRS_REQUIRE(n.busy_reduce_slots < n.reduce_slots);
+  ++n.busy_reduce_slots;
+}
+
+void Cluster::release_reduce_slot(NodeId id) {
+  NodeState& n = mutable_node(id);
+  MRS_REQUIRE(n.busy_reduce_slots > 0);
+  --n.busy_reduce_slots;
+}
+
+void Cluster::set_node_alive(NodeId id, bool alive) {
+  NodeState& n = mutable_node(id);
+  if (!alive) {
+    MRS_REQUIRE(n.busy_map_slots == 0 && n.busy_reduce_slots == 0);
+  }
+  n.alive = alive;
+}
+
+std::size_t Cluster::alive_node_count() const {
+  std::size_t count = 0;
+  for (const auto& n : nodes_) count += n.alive ? 1 : 0;
+  return count;
+}
+
+std::vector<NodeId> Cluster::nodes_with_free_map_slots() const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].free_map_slots() > 0) out.push_back(NodeId(i));
+  }
+  return out;
+}
+
+std::vector<NodeId> Cluster::nodes_with_free_reduce_slots() const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].free_reduce_slots() > 0) out.push_back(NodeId(i));
+  }
+  return out;
+}
+
+std::size_t Cluster::busy_map_slots() const {
+  std::size_t n = 0;
+  for (const auto& s : nodes_) n += s.busy_map_slots;
+  return n;
+}
+
+std::size_t Cluster::busy_reduce_slots() const {
+  std::size_t n = 0;
+  for (const auto& s : nodes_) n += s.busy_reduce_slots;
+  return n;
+}
+
+}  // namespace mrs::cluster

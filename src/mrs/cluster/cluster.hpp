@@ -1,0 +1,97 @@
+// Slot-based cluster resource model (Hadoop 1.x TaskTracker style).
+//
+// Each physical node exposes a fixed number of map slots and reduce slots
+// (the paper: 4 map + 2 reduce per node). The scheduler is invoked on
+// heartbeats with per-node free-slot counts; this module owns that
+// accounting plus per-node execution parameters (CPU speed factor, local
+// disk rate).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mrs/common/ids.hpp"
+#include "mrs/common/rng.hpp"
+#include "mrs/common/units.hpp"
+#include "mrs/net/topology.hpp"
+
+namespace mrs::cluster {
+
+struct NodeConfig {
+  std::size_t map_slots = 4;
+  std::size_t reduce_slots = 2;
+  BytesPerSec disk_rate = 150.0 * units::kMiB;  ///< local sequential read
+  /// Relative CPU speed multiplier; per-node values are drawn from
+  /// [1 - speed_spread, 1 + speed_spread] to model mild heterogeneity.
+  double speed_spread = 0.0;
+};
+
+/// Per-node mutable state.
+struct NodeState {
+  std::size_t map_slots = 0;
+  std::size_t reduce_slots = 0;
+  std::size_t busy_map_slots = 0;
+  std::size_t busy_reduce_slots = 0;
+  double speed_factor = 1.0;
+  BytesPerSec disk_rate = 0.0;
+  bool alive = true;  ///< a failed TaskTracker offers no slots
+
+  [[nodiscard]] std::size_t free_map_slots() const {
+    return alive ? map_slots - busy_map_slots : 0;
+  }
+  [[nodiscard]] std::size_t free_reduce_slots() const {
+    return alive ? reduce_slots - busy_reduce_slots : 0;
+  }
+};
+
+class Cluster {
+ public:
+  /// Builds one NodeState per topology host. `rng` drives the speed-factor
+  /// draw only.
+  Cluster(const net::Topology* topo, const NodeConfig& cfg, Rng rng);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const net::Topology& topology() const { return *topo_; }
+
+  [[nodiscard]] const NodeState& node(NodeId id) const {
+    MRS_REQUIRE(id.value() < nodes_.size());
+    return nodes_[id.value()];
+  }
+
+  void occupy_map_slot(NodeId id);
+  void release_map_slot(NodeId id);
+  void occupy_reduce_slot(NodeId id);
+  void release_reduce_slot(NodeId id);
+
+  /// TaskTracker failure / recovery. Slot occupancy must already be zero
+  /// when a node goes down (the engine kills and releases its tasks
+  /// first).
+  void set_node_alive(NodeId id, bool alive);
+  [[nodiscard]] bool node_alive(NodeId id) const { return node(id).alive; }
+  [[nodiscard]] std::size_t alive_node_count() const;
+
+  /// Nodes that currently have at least one free map/reduce slot — the
+  /// N_m / N_r sets of Algorithms 1 and 2.
+  [[nodiscard]] std::vector<NodeId> nodes_with_free_map_slots() const;
+  [[nodiscard]] std::vector<NodeId> nodes_with_free_reduce_slots() const;
+
+  [[nodiscard]] std::size_t total_map_slots() const { return total_map_; }
+  [[nodiscard]] std::size_t total_reduce_slots() const {
+    return total_reduce_;
+  }
+  [[nodiscard]] std::size_t busy_map_slots() const;
+  [[nodiscard]] std::size_t busy_reduce_slots() const;
+
+ private:
+  NodeState& mutable_node(NodeId id) {
+    MRS_REQUIRE(id.value() < nodes_.size());
+    return nodes_[id.value()];
+  }
+
+  const net::Topology* topo_;
+  std::vector<NodeState> nodes_;
+  std::size_t total_map_ = 0;
+  std::size_t total_reduce_ = 0;
+};
+
+}  // namespace mrs::cluster

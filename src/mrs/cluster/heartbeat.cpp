@@ -1,0 +1,34 @@
+#include "mrs/cluster/heartbeat.hpp"
+
+namespace mrs::cluster {
+
+HeartbeatService::HeartbeatService(sim::Simulation* simulation,
+                                   std::size_t node_count, Seconds interval)
+    : simulation_(simulation), node_count_(node_count), interval_(interval) {
+  MRS_REQUIRE(simulation_ != nullptr);
+  MRS_REQUIRE(node_count_ >= 1);
+  MRS_REQUIRE(interval_ > 0.0);
+}
+
+void HeartbeatService::start(Handler handler) {
+  MRS_REQUIRE(handler != nullptr);
+  MRS_REQUIRE(!running_);
+  handler_ = std::move(handler);
+  running_ = true;
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    const Seconds offset =
+        interval_ * static_cast<double>(i) / static_cast<double>(node_count_);
+    arm(NodeId(i), simulation_->now() + offset);
+  }
+}
+
+void HeartbeatService::arm(NodeId node, Seconds at) {
+  simulation_->schedule_at(at, [this, node] {
+    if (!running_) return;
+    ++beats_;
+    handler_(node);
+    arm(node, simulation_->now() + interval_);
+  });
+}
+
+}  // namespace mrs::cluster

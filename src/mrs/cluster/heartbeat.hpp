@@ -1,0 +1,45 @@
+// Heartbeat service: the JobTracker's scheduling trigger.
+//
+// Hadoop 1.x TaskTrackers heartbeat every ~3 seconds; the scheduler makes
+// placement decisions only at heartbeats (Sec. II-A). Nodes are striped
+// across the interval so heartbeats don't arrive in lock-step, and the
+// per-node order within a round is stable, mirroring independent trackers.
+#pragma once
+
+#include <functional>
+
+#include "mrs/common/check.hpp"
+#include "mrs/common/ids.hpp"
+#include "mrs/sim/simulation.hpp"
+
+namespace mrs::cluster {
+
+class HeartbeatService {
+ public:
+  using Handler = std::function<void(NodeId)>;
+
+  HeartbeatService(sim::Simulation* simulation, std::size_t node_count,
+                   Seconds interval = 3.0);
+
+  /// Begin emitting heartbeats. `handler` is invoked once per node per
+  /// interval, at a per-node phase offset of (i/node_count)*interval.
+  void start(Handler handler);
+
+  /// Stop after the current round (no further heartbeats are scheduled).
+  void stop() { running_ = false; }
+
+  [[nodiscard]] Seconds interval() const { return interval_; }
+  [[nodiscard]] std::size_t beats_delivered() const { return beats_; }
+
+ private:
+  void arm(NodeId node, Seconds at);
+
+  sim::Simulation* simulation_;
+  std::size_t node_count_;
+  Seconds interval_;
+  Handler handler_;
+  bool running_ = false;
+  std::size_t beats_ = 0;
+};
+
+}  // namespace mrs::cluster

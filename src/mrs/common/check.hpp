@@ -1,0 +1,33 @@
+// Lightweight precondition / invariant checking, in the spirit of the
+// C++ Core Guidelines Expects()/Ensures() contracts (I.6, I.8).
+//
+// MRS_REQUIRE is always on (cheap argument validation at API boundaries);
+// MRS_ASSERT compiles out in NDEBUG builds (hot-path internal invariants).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mrs::detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s (%s:%d)\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace mrs::detail
+
+#define MRS_REQUIRE(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::mrs::detail::check_failed("MRS_REQUIRE", #expr, __FILE__,    \
+                                        __LINE__))
+
+#ifdef NDEBUG
+#define MRS_ASSERT(expr) static_cast<void>(0)
+#else
+#define MRS_ASSERT(expr)                                                   \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::mrs::detail::check_failed("MRS_ASSERT", #expr, __FILE__,     \
+                                        __LINE__))
+#endif

@@ -1,0 +1,42 @@
+// Tiny CSV writer used by the bench harness to persist figure/table data
+// next to the human-readable stdout output.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrs {
+
+/// Streams rows to a CSV file. Quotes/escapes fields when needed.
+/// The file is flushed and closed on destruction (RAII).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row; must have exactly as many fields as the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats arithmetic values with %.6g.
+  void row_values(std::initializer_list<double> values);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+  static std::string escape(std::string_view field);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace mrs

@@ -1,0 +1,65 @@
+// Strong ID types for the simulator's entities.
+//
+// Raw std::size_t indices are easy to mix up (a node index passed where a
+// task index was expected compiles silently). Each entity gets its own
+// tagged integer type with explicit construction (Core Guidelines I.4:
+// make interfaces precisely and strongly typed).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <limits>
+
+namespace mrs {
+
+/// Tagged integral identifier. `Tag` distinguishes unrelated ID spaces.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::size_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value_(v) {}
+
+  /// Numeric value, for indexing into dense per-entity arrays.
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+
+  /// An ID value guaranteed never to be assigned to a real entity.
+  [[nodiscard]] static constexpr Id invalid() {
+    return Id(std::numeric_limits<underlying_type>::max());
+  }
+  [[nodiscard]] constexpr bool valid() const { return *this != invalid(); }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  underlying_type value_ = std::numeric_limits<underlying_type>::max();
+};
+
+struct NodeTag {};    ///< physical machine (data node)
+struct SwitchTag {};  ///< network switch
+struct LinkTag {};    ///< network link
+struct RackTag {};    ///< rack (failure/locality domain)
+struct BlockTag {};   ///< DFS data block
+struct JobTag {};     ///< MapReduce job
+struct TaskTag {};    ///< MapReduce task (map or reduce), global space
+struct FlowTag {};    ///< network flow
+
+using NodeId = Id<NodeTag>;
+using SwitchId = Id<SwitchTag>;
+using LinkId = Id<LinkTag>;
+using RackId = Id<RackTag>;
+using BlockId = Id<BlockTag>;
+using JobId = Id<JobTag>;
+using TaskId = Id<TaskTag>;
+using FlowId = Id<FlowTag>;
+
+}  // namespace mrs
+
+template <typename Tag>
+struct std::hash<mrs::Id<Tag>> {
+  std::size_t operator()(mrs::Id<Tag> id) const noexcept {
+    return std::hash<std::size_t>{}(id.value());
+  }
+};

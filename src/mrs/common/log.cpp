@@ -1,0 +1,23 @@
+#include "mrs/common/log.hpp"
+
+namespace mrs::log_detail {
+
+LogLevel& level_ref() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void emit(LogLevel level, std::string_view msg) {
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kTrace: tag = "TRACE"; break;
+    case LogLevel::kDebug: tag = "DEBUG"; break;
+    case LogLevel::kInfo: tag = "INFO"; break;
+    case LogLevel::kWarn: tag = "WARN"; break;
+    case LogLevel::kOff: tag = "OFF"; break;
+  }
+  std::fprintf(stderr, "[%s] %.*s\n", tag, static_cast<int>(msg.size()),
+               msg.data());
+}
+
+}  // namespace mrs::log_detail

@@ -1,0 +1,89 @@
+#include "mrs/common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mrs/common/check.hpp"
+
+namespace mrs {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_label(std::string_view label) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed), engine_(splitmix64(seed)) {}
+
+Rng Rng::split(std::string_view label) const {
+  return Rng(splitmix64(seed_ ^ hash_label(label)));
+}
+
+double Rng::uniform01() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  MRS_REQUIRE(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  MRS_REQUIRE(lo <= hi);
+  return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  MRS_REQUIRE(n > 0);
+  return static_cast<std::size_t>(uniform_int(0, n - 1));
+}
+
+bool Rng::bernoulli(double p) {
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  return uniform01() < clamped;
+}
+
+double Rng::normal(double mean, double stddev) {
+  MRS_REQUIRE(stddev >= 0.0);
+  if (stddev == 0.0) return mean;
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  MRS_REQUIRE(sigma >= 0.0);
+  if (sigma == 0.0) return std::exp(mu);
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  MRS_REQUIRE(mean > 0.0);
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  MRS_REQUIRE(n > 0);
+  MRS_REQUIRE(s >= 0.0);
+  if (s == 0.0) return index(n);
+  // Inverse-CDF over the (small) rank space; n is at most a few hundred
+  // partitions in practice, so the linear scan is fine.
+  double total = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) total += 1.0 / std::pow(double(k), s);
+  double u = uniform01() * total;
+  for (std::size_t k = 1; k <= n; ++k) {
+    u -= 1.0 / std::pow(double(k), s);
+    if (u <= 0.0) return k - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace mrs

@@ -1,0 +1,190 @@
+#include "mrs/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include "mrs/common/strfmt.hpp"
+
+#include "mrs/common/check.hpp"
+
+namespace mrs {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::mean() const { return n_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+double RunningStats::min() const { return min_; }
+double RunningStats::max() const { return max_; }
+
+double percentile(std::span<const double> sample, double q) {
+  MRS_REQUIRE(!sample.empty());
+  MRS_REQUIRE(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Cdf::Cdf(std::vector<double> sample) : sample_(std::move(sample)) {
+  sorted_ = false;
+  ensure_sorted();
+}
+
+void Cdf::add(double x) {
+  sample_.push_back(x);
+  sorted_ = false;
+}
+
+void Cdf::ensure_sorted() const {
+  if (sorted_) return;
+  auto& mut = const_cast<std::vector<double>&>(sample_);
+  std::sort(mut.begin(), mut.end());
+  sorted_ = true;
+}
+
+std::vector<CdfPoint> Cdf::points() const {
+  ensure_sorted();
+  std::vector<CdfPoint> pts;
+  pts.reserve(sample_.size());
+  const double n = static_cast<double>(sample_.size());
+  for (std::size_t i = 0; i < sample_.size(); ++i) {
+    pts.push_back({sample_[i], static_cast<double>(i + 1) / n});
+  }
+  return pts;
+}
+
+std::vector<CdfPoint> Cdf::resampled(std::size_t n) const {
+  MRS_REQUIRE(n > 0);
+  std::vector<CdfPoint> pts;
+  if (sample_.empty()) return pts;
+  pts.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(n);
+    pts.push_back({value_at(q), q});
+  }
+  return pts;
+}
+
+double Cdf::fraction_at_or_below(double x) const {
+  if (sample_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(sample_.begin(), sample_.end(), x);
+  return static_cast<double>(it - sample_.begin()) /
+         static_cast<double>(sample_.size());
+}
+
+double Cdf::value_at(double q) const {
+  MRS_REQUIRE(!sample_.empty());
+  ensure_sorted();
+  return percentile(std::span<const double>(sample_), std::clamp(q, 0.0, 1.0));
+}
+
+std::string render_cdf_ascii(
+    std::span<const std::pair<std::string, const Cdf*>> series, int width,
+    int height, const std::string& x_label) {
+  MRS_REQUIRE(width >= 20 && height >= 5);
+  double xmin = 0.0, xmax = 0.0;
+  bool any = false;
+  for (const auto& [name, cdf] : series) {
+    if (cdf == nullptr || cdf->empty()) continue;
+    const double lo = cdf->value_at(0.0);
+    const double hi = cdf->value_at(1.0);
+    if (!any) {
+      xmin = lo;
+      xmax = hi;
+      any = true;
+    } else {
+      xmin = std::min(xmin, lo);
+      xmax = std::max(xmax, hi);
+    }
+  }
+  if (!any) return "(no data)\n";
+  if (xmax <= xmin) xmax = xmin + 1.0;
+
+  static constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@'};
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  std::size_t gi = 0;
+  for (const auto& [name, cdf] : series) {
+    if (cdf == nullptr || cdf->empty()) continue;
+    const char glyph = kGlyphs[gi++ % sizeof(kGlyphs)];
+    for (int col = 0; col < width; ++col) {
+      const double x =
+          xmin + (xmax - xmin) * (static_cast<double>(col) + 0.5) /
+                     static_cast<double>(width);
+      const double f = cdf->fraction_at_or_below(x);
+      int row = height - 1 -
+                static_cast<int>(std::round(f * static_cast<double>(height - 1)));
+      row = std::clamp(row, 0, height - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  std::string out;
+  out += "1.0 ";
+  out += grid[0];
+  out += '\n';
+  for (int r = 1; r < height - 1; ++r) {
+    out += (r == height / 2) ? "CDF " : "    ";
+    out += grid[static_cast<std::size_t>(r)];
+    out += '\n';
+  }
+  out += "0.0 ";
+  out += grid[static_cast<std::size_t>(height - 1)];
+  out += '\n';
+  {
+    const std::string lo = strf("%.4g", xmin);
+    const std::string hi = strf("%.4g", xmax);
+    std::string axis = "    " + lo;
+    const std::size_t total = static_cast<std::size_t>(width) + 4;
+    if (axis.size() + hi.size() < total) {
+      axis += std::string(total - axis.size() - hi.size(), ' ');
+    }
+    out += axis + hi + "\n";
+  }
+  out += strf("    (%s)  legend:", x_label.c_str());
+  gi = 0;
+  for (const auto& [name, cdf] : series) {
+    if (cdf == nullptr || cdf->empty()) continue;
+    out += strf(" %c=%s", kGlyphs[gi++ % sizeof(kGlyphs)], name.c_str());
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace mrs

@@ -1,0 +1,41 @@
+// printf-style string formatting (std::format is unavailable on GCC 12's
+// libstdc++). Format strings are compile-time checked via the format
+// attribute on GCC/Clang.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace mrs {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MRS_PRINTF_LIKE(fmt_idx, first_arg) \
+  __attribute__((format(printf, fmt_idx, first_arg)))
+#else
+#define MRS_PRINTF_LIKE(fmt_idx, first_arg)
+#endif
+
+/// vsnprintf into a std::string.
+inline std::string vstrf(const char* fmt, std::va_list args) {
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args_copy);
+  va_end(args_copy);
+  if (n <= 0) return {};
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  return out;
+}
+
+/// snprintf into a std::string: strf("node%zu", i).
+MRS_PRINTF_LIKE(1, 2)
+inline std::string strf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::string out = vstrf(fmt, args);
+  va_end(args);
+  return out;
+}
+
+}  // namespace mrs

@@ -1,0 +1,61 @@
+#include "mrs/common/table.hpp"
+
+#include <algorithm>
+
+#include "mrs/common/check.hpp"
+
+namespace mrs {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)), right_aligned_(header_.size(), false) {
+  MRS_REQUIRE(!header_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  MRS_REQUIRE(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::set_right_aligned(std::size_t column, bool right) {
+  MRS_REQUIRE(column < header_.size());
+  right_aligned_[column] = right;
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t w : widths) s += std::string(w + 2, '-') + "+";
+    s += '\n';
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      s += ' ';
+      if (right_aligned_[c]) s += std::string(pad, ' ');
+      s += cells[c];
+      if (!right_aligned_[c]) s += std::string(pad, ' ');
+      s += " |";
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+}  // namespace mrs

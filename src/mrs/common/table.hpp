@@ -1,0 +1,28 @@
+// ASCII table renderer for paper-style tables (Table II, Table III, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mrs {
+
+/// Collects rows and renders an aligned, boxed ASCII table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Right-align the given column (numbers read better right-aligned).
+  void set_right_aligned(std::size_t column, bool right = true);
+
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<bool> right_aligned_;
+};
+
+}  // namespace mrs

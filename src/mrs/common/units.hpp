@@ -1,0 +1,35 @@
+// Units used throughout the simulator.
+//
+// Data sizes are double-precision byte counts (intermediate-data estimates
+// are fractional by nature); time is double-precision seconds on the
+// simulation clock; rates are bytes per second.
+#pragma once
+
+namespace mrs {
+
+using Bytes = double;        ///< data size in bytes (fractional allowed)
+using Seconds = double;      ///< simulation time / duration
+using BytesPerSec = double;  ///< transmission or processing rate
+
+namespace units {
+
+inline constexpr Bytes kKiB = 1024.0;
+inline constexpr Bytes kMiB = 1024.0 * kKiB;
+inline constexpr Bytes kGiB = 1024.0 * kMiB;
+inline constexpr Bytes kTiB = 1024.0 * kGiB;
+
+/// Network rates are conventionally decimal (1 Gb/s = 1e9 bits/s).
+inline constexpr BytesPerSec kMbps = 1e6 / 8.0;
+inline constexpr BytesPerSec kGbps = 1e9 / 8.0;
+
+constexpr Bytes MiB(double v) { return v * kMiB; }
+constexpr Bytes GiB(double v) { return v * kGiB; }
+constexpr BytesPerSec Gbps(double v) { return v * kGbps; }
+constexpr BytesPerSec Mbps(double v) { return v * kMbps; }
+
+/// Convert back for reporting.
+constexpr double to_MiB(Bytes b) { return b / kMiB; }
+constexpr double to_GiB(Bytes b) { return b / kGiB; }
+
+}  // namespace units
+}  // namespace mrs

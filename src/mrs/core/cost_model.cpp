@@ -1,0 +1,107 @@
+#include "mrs/core/cost_model.hpp"
+
+#include <algorithm>
+
+namespace mrs::core {
+
+using mapreduce::JobRun;
+using mapreduce::MapPhase;
+
+IntermediateSnapshot::IntermediateSnapshot(const JobRun& job, Seconds now,
+                                           EstimatorMode mode,
+                                           std::size_t node_count)
+    : reduce_count_(job.reduce_count()),
+      w_(node_count * job.reduce_count(), 0.0),
+      totals_(job.reduce_count(), 0.0) {
+  const std::size_t n = reduce_count_;
+  std::vector<bool> has_data(node_count, false);
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    const auto& m = job.map_state(j);
+    if (m.phase == MapPhase::kUnassigned) continue;  // location unknown
+    const std::size_t p = m.node.value();
+
+    double scale = 0.0;  // multiplier applied to ground-truth I_jf
+    switch (mode) {
+      case EstimatorMode::kProjected: {
+        // Eq. 3: A_jf * B_j / d_read. A_jf = I_jf * ramp(p), d_read =
+        // B_j * p, so the estimate is I_jf * ramp(p) / p — computed from
+        // heartbeat-visible values only.
+        const double progress = job.map_progress(j, now);
+        if (progress <= 0.0) continue;  // d_read == 0: nothing reported yet
+        const Bytes d_read = job.bytes_read(j, now);
+        MRS_ASSERT(d_read > 0.0);
+        const double b_over_d = job.spec().map_tasks[j].input_size / d_read;
+        for (std::size_t f = 0; f < n; ++f) {
+          const Bytes est = job.current_partition(j, f, now) * b_over_d;
+          w_[p * n + f] += est;
+          totals_[f] += est;
+        }
+        has_data[p] = true;
+        continue;
+      }
+      case EstimatorMode::kCurrent: {
+        // Use the in-progress size as-is (Coupling Scheduler's choice).
+        const double progress = job.map_progress(j, now);
+        if (progress <= 0.0) continue;
+        for (std::size_t f = 0; f < n; ++f) {
+          const Bytes est = job.current_partition(j, f, now);
+          w_[p * n + f] += est;
+          totals_[f] += est;
+        }
+        has_data[p] = true;
+        continue;
+      }
+      case EstimatorMode::kOracle:
+        scale = 1.0;
+        break;
+    }
+    // Oracle: ground truth for every placed map.
+    for (std::size_t f = 0; f < n; ++f) {
+      const Bytes est = job.final_partition(j, f) * scale;
+      w_[p * n + f] += est;
+      totals_[f] += est;
+    }
+    has_data[p] = true;
+  }
+  for (std::size_t p = 0; p < node_count; ++p) {
+    if (has_data[p]) sources_.push_back(p);
+  }
+}
+
+ReduceCostEvaluator::ReduceCostEvaluator(const mapreduce::Engine& engine,
+                                         const JobRun& job,
+                                         EstimatorMode mode,
+                                         std::vector<NodeId> candidates)
+    : snapshot_(job, engine.now(), mode, engine.cluster().node_count()),
+      candidates_(std::move(candidates)) {
+  const auto& sources = snapshot_.source_nodes();
+  dist_.resize(candidates_.size() * sources.size());
+  for (std::size_t c = 0; c < candidates_.size(); ++c) {
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      dist_[c * sources.size() + s] =
+          engine.distance(NodeId(sources[s]), candidates_[c]);
+    }
+  }
+}
+
+double ReduceCostEvaluator::cost(std::size_t candidate_index,
+                                 std::size_t f) const {
+  const auto& sources = snapshot_.source_nodes();
+  double total = 0.0;
+  const double* row = dist_.data() + candidate_index * sources.size();
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    total += row[s] * snapshot_.bytes_from(sources[s], f);
+  }
+  return total;
+}
+
+double ReduceCostEvaluator::average_cost(std::size_t f) const {
+  MRS_REQUIRE(!candidates_.empty());
+  double sum = 0.0;
+  for (std::size_t c = 0; c < candidates_.size(); ++c) {
+    sum += cost(c, f);
+  }
+  return sum / static_cast<double>(candidates_.size());
+}
+
+}  // namespace mrs::core

@@ -1,0 +1,148 @@
+#include "mrs/core/pna_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mrs::core {
+
+using mapreduce::Engine;
+using mapreduce::JobRun;
+using mapreduce::jobs_for_maps;
+using mapreduce::jobs_for_reduces;
+
+PnaScheduler::PnaScheduler(PnaConfig cfg, Rng rng)
+    : cfg_(cfg), rng_(std::move(rng)) {
+  MRS_REQUIRE(cfg_.p_min >= 0.0 && cfg_.p_min < 1.0);
+}
+
+void PnaScheduler::on_heartbeat(Engine& engine, NodeId node) {
+  // Map slots: walk jobs in policy order; a failed attempt (skip or lost
+  // Bernoulli draw) moves on to the next job, so one bad fit doesn't idle
+  // the whole node, but no job gets a second draw within one heartbeat.
+  {
+    auto jobs = jobs_for_maps(engine, cfg_.job_order);
+    std::size_t ji = 0;
+    while (engine.map_budget_left() > 0 &&
+           engine.cluster().node(node).free_map_slots() > 0 &&
+           ji < jobs.size()) {
+      JobRun& job = *jobs[ji];
+      if (job.maps_unassigned() == 0 || !schedule_map(engine, job, node)) {
+        if (!cfg_.walk_jobs_on_failure) break;  // Algorithm 1 Line 11
+        ++ji;
+      }
+    }
+  }
+  // Reduce slots: same walk, plus the no-colocation gate of Algorithm 2.
+  {
+    auto jobs = jobs_for_reduces(engine, cfg_.job_order);
+    std::size_t ji = 0;
+    while (engine.reduce_budget_left() > 0 &&
+           engine.cluster().node(node).free_reduce_slots() > 0 &&
+           ji < jobs.size()) {
+      JobRun& job = *jobs[ji];
+      if (cfg_.forbid_colocated_reduces && job.has_reduce_on(node)) {
+        ++ji;  // the colocation gate always moves on to the next job
+        continue;
+      }
+      if (job.reduces_unassigned() == 0 ||
+          !schedule_reduce(engine, job, node)) {
+        if (!cfg_.walk_jobs_on_failure) break;  // Algorithm 2 Line 12
+        ++ji;
+      }
+    }
+  }
+}
+
+bool PnaScheduler::schedule_map(Engine& engine, JobRun& job, NodeId node) {
+  ++map_attempts_;
+
+  // Fast path: a task with a local replica has cost 0 and therefore P = 1,
+  // the maximum any candidate can reach — assign it outright (Sec. II-C:
+  // "if the data is available in D_i ... the task is always assigned").
+  {
+    const std::size_t local = job.next_local_map(node);
+    if (local < job.map_count()) {
+      engine.assign_map(job, local, node);
+      return true;
+    }
+  }
+
+  // Full Algorithm 1: score every unassigned candidate.
+  const std::vector<NodeId> n_m = engine.cluster().nodes_with_free_map_slots();
+  MRS_ASSERT(!n_m.empty());  // `node` itself has a free map slot
+
+  double best_p = -1.0;
+  std::size_t best_task = job.map_count();
+  const bool cached = job.has_static_costs();
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    if (job.map_state(j).phase != mapreduce::MapPhase::kUnassigned) continue;
+    double c_ij, c_sum = 0.0;
+    if (cached) {
+      // B_j scales cost and average identically, so it cancels out of the
+      // ratio C_ave / C_ij — work with raw distances.
+      c_ij = job.static_min_distance(j, node);                  // Line 4
+      for (NodeId k : n_m) c_sum += job.static_min_distance(j, k);
+    } else {
+      c_ij = engine.map_cost(job, j, node);                     // Line 4
+      for (NodeId k : n_m) c_sum += engine.map_cost(job, j, k); // Line 6
+    }
+    const double c_ave = c_sum / static_cast<double>(n_m.size());
+    const double p = assignment_probability(c_ij, c_ave, cfg_.model);
+    if (p > best_p) {
+      best_p = p;
+      best_task = j;
+    }
+  }
+  if (best_task == job.map_count()) return false;  // no unassigned task
+
+  if (best_p < cfg_.p_min) {  // Lines 10-12: too costly, skip this node
+    ++map_skips_;
+    return false;
+  }
+  if (!rng_.bernoulli(best_p)) {  // Lines 13-16
+    ++map_skips_;
+    return false;
+  }
+  engine.assign_map(job, best_task, node);
+  return true;
+}
+
+bool PnaScheduler::schedule_reduce(Engine& engine, JobRun& job, NodeId node) {
+  ++reduce_attempts_;
+
+  const std::vector<NodeId> n_r =
+      engine.cluster().nodes_with_free_reduce_slots();
+  MRS_ASSERT(!n_r.empty());
+  const auto self =
+      std::find(n_r.begin(), n_r.end(), node);
+  MRS_ASSERT(self != n_r.end());
+  const auto self_index = static_cast<std::size_t>(self - n_r.begin());
+
+  ReduceCostEvaluator eval(engine, job, cfg_.estimator, n_r);
+
+  double best_p = -1.0;
+  std::size_t best_task = job.reduce_count();
+  for (std::size_t f : job.unassigned_reduces()) {
+    const double c_if = eval.cost(self_index, f);    // Line 5 (Eq. 3)
+    const double c_ave = eval.average_cost(f);       // Line 7
+    const double p = assignment_probability(c_if, c_ave, cfg_.model);
+    if (p > best_p) {
+      best_p = p;
+      best_task = f;
+    }
+  }
+  if (best_task == job.reduce_count()) return false;
+
+  if (best_p < cfg_.p_min) {  // Lines 11-13
+    ++reduce_skips_;
+    return false;
+  }
+  if (!rng_.bernoulli(best_p)) {  // Lines 14-17
+    ++reduce_skips_;
+    return false;
+  }
+  engine.assign_reduce(job, best_task, node);
+  return true;
+}
+
+}  // namespace mrs::core

@@ -1,0 +1,41 @@
+#include "mrs/core/probability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mrs/common/check.hpp"
+
+namespace mrs::core {
+
+double assignment_probability(double cost, double avg_cost,
+                              ProbabilityModel model) {
+  MRS_REQUIRE(cost >= 0.0);
+  MRS_REQUIRE(avg_cost >= 0.0);
+  if (cost <= 0.0) return 1.0;  // local data: always assign (Sec. II-C)
+  switch (model) {
+    case ProbabilityModel::kExponential:
+      return 1.0 - std::exp(-avg_cost / cost);
+    case ProbabilityModel::kLinear:
+      return std::min(1.0, avg_cost / (2.0 * cost));
+    case ProbabilityModel::kSigmoid: {
+      // Logistic in the normalized cost x = cost / avg, centred at the
+      // average with slope k; approaches 1 for x -> 0 and 0 for x >> 1.
+      if (avg_cost <= 0.0) return 0.0;
+      constexpr double k = 4.0;
+      const double x = cost / avg_cost;
+      return 1.0 / (1.0 + std::exp(k * (x - 1.0)));
+    }
+    case ProbabilityModel::kStep:
+      return cost <= avg_cost ? 1.0 : 0.0;
+    case ProbabilityModel::kGreedy:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+double exponential_cost_cutoff(double avg_cost, double p_min) {
+  MRS_REQUIRE(p_min > 0.0 && p_min < 1.0);
+  return avg_cost / (-std::log(1.0 - p_min));
+}
+
+}  // namespace mrs::core

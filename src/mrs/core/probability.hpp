@@ -1,0 +1,46 @@
+// Assignment-probability models (Eq. 4/5 and the future-work variants).
+//
+// The paper maps the ratio r = C_ave / C_i (expected placement cost over
+// the cost at the offered node) to an assignment probability with
+// P = 1 - e^{-r}, and notes in Sec. V that the optimality of this
+// exponential form is unknown — alternative models are future work. This
+// header implements the exponential form plus the alternatives exercised
+// by the probability-model ablation bench.
+#pragma once
+
+#include <string>
+
+namespace mrs::core {
+
+enum class ProbabilityModel {
+  kExponential,  ///< Eq. 4/5: P = 1 - exp(-C_ave / C_i)
+  kLinear,       ///< P = min(1, C_ave / (2 C_i)); 0.5 at the average
+  kSigmoid,      ///< logistic in C_i / C_ave, centred at 1
+  kStep,         ///< 1 if C_i <= C_ave else 0 (hard cutoff)
+  kGreedy,       ///< always 1 (deterministic min-cost assignment)
+};
+
+[[nodiscard]] constexpr const char* to_string(ProbabilityModel m) {
+  switch (m) {
+    case ProbabilityModel::kExponential: return "exponential";
+    case ProbabilityModel::kLinear: return "linear";
+    case ProbabilityModel::kSigmoid: return "sigmoid";
+    case ProbabilityModel::kStep: return "step";
+    case ProbabilityModel::kGreedy: return "greedy";
+  }
+  return "?";
+}
+
+/// Probability of assigning a task whose placement cost at the offered
+/// node is `cost`, when the expected cost over all candidate nodes is
+/// `avg_cost`. Every model returns 1 for cost == 0 (local data, Sec. II-C)
+/// and is non-increasing in cost.
+[[nodiscard]] double assignment_probability(double cost, double avg_cost,
+                                            ProbabilityModel model);
+
+/// The closed-form cutoff of Sec. II-C: with the exponential model and
+/// threshold p_min, a task is assignable only if
+/// cost <= avg_cost / (-ln(1 - p_min)).
+[[nodiscard]] double exponential_cost_cutoff(double avg_cost, double p_min);
+
+}  // namespace mrs::core

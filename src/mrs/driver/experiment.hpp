@@ -1,0 +1,123 @@
+// One-call experiment runner: wires topology, DFS, cluster, network,
+// engine, workload and a scheduler together, runs the simulation to
+// completion, and returns the records the metrics module consumes.
+//
+// Determinism contract: the workload (block placement, intermediate-data
+// ground truth, submit times) depends only on (config.seed, config.jobs),
+// never on the scheduler choice — so runs that differ only in `scheduler`
+// are exactly paired, as Fig. 5 requires.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mrs/cluster/cluster.hpp"
+#include "mrs/core/pna_scheduler.hpp"
+#include "mrs/mapreduce/engine.hpp"
+#include "mrs/mapreduce/failure_injector.hpp"
+#include "mrs/mapreduce/records.hpp"
+#include "mrs/net/link_condition.hpp"
+#include "mrs/sched/coupling.hpp"
+#include "mrs/sched/fair.hpp"
+#include "mrs/sched/larts.hpp"
+#include "mrs/sched/mincost.hpp"
+#include "mrs/workload/table2.hpp"
+
+namespace mrs::driver {
+
+enum class SchedulerKind {
+  kFifo,      ///< Hadoop's original FIFO scheduler
+  kFair,      ///< Fair Scheduler + Delay Scheduling [3,7]
+  kCoupling,  ///< Coupling Scheduler [5,17]
+  kLarts,     ///< locality-aware reduce scheduling [4]
+  kMinCost,   ///< Quincy-inspired deterministic min-regret matching [20]
+  kPna,       ///< the paper's probabilistic network-aware scheduler
+};
+
+[[nodiscard]] constexpr const char* to_string(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::kFifo: return "fifo";
+    case SchedulerKind::kFair: return "fair";
+    case SchedulerKind::kCoupling: return "coupling";
+    case SchedulerKind::kLarts: return "larts";
+    case SchedulerKind::kMinCost: return "mincost";
+    case SchedulerKind::kPna: return "probabilistic";
+  }
+  return "?";
+}
+
+/// Which distance matrix H the schedulers see (Sec. II-B-3).
+enum class DistanceMode {
+  kHops,             ///< static hop counts (the paper's default H)
+  kInverseRate,      ///< bottleneck inverse transmission rate
+  kWeightedPerLink,  ///< per-link inverse-rate sum (keeps hop sensitivity)
+  kLoadAware,        ///< live path-probe rates incl. foreground transfers
+};
+
+struct ExperimentConfig {
+  // --- cluster & network (paper: 60 nodes, 4 map + 2 reduce slots) ---
+  std::size_t nodes = 60;
+  std::size_t racks = 1;  ///< 1 = the paper's single-rack allocation
+  BytesPerSec host_link = units::Gbps(1);
+  BytesPerSec rack_uplink = units::Gbps(10);
+  cluster::NodeConfig node;
+
+  // --- background traffic / distance source ---
+  net::BackgroundTrafficConfig background;  ///< zero by default
+  DistanceMode distance_mode = DistanceMode::kHops;
+
+  // --- engine ---
+  mapreduce::EngineConfig engine;
+  mapreduce::FailureInjectorConfig failures;  ///< disabled by default
+
+  // --- workload ---
+  workload::WorkloadConfig workload;
+  std::vector<workload::JobDescription> jobs;
+  /// When set, overrides every job's map-emission ramp exponent alpha
+  /// (1.0 = linear; larger = back-loaded output). Stresses the Eq. 3
+  /// estimator in the ablation benches.
+  std::optional<double> emit_nonlinearity_override;
+
+  // --- scheduler under test ---
+  SchedulerKind scheduler = SchedulerKind::kPna;
+  core::PnaConfig pna;
+  sched::FairConfig fair;
+  sched::CouplingConfig coupling;
+  sched::LartsConfig larts;
+  sched::MinCostConfig mincost;
+
+  std::uint64_t seed = 42;
+  /// Safety stop: abort (and fail) if the simulation exceeds this.
+  Seconds max_sim_time = 1e7;
+  /// When non-empty, write an execution trace CSV to this path.
+  std::string trace_path;
+};
+
+struct ExperimentResult {
+  std::string scheduler_name;
+  std::vector<mapreduce::TaskRecord> task_records;
+  std::vector<mapreduce::JobRecord> job_records;
+  mapreduce::UtilizationSummary utilization;
+  Seconds makespan = 0.0;  ///< last job completion time
+  std::size_t events_processed = 0;
+  bool completed = false;  ///< all jobs finished before max_sim_time
+};
+
+/// Run one experiment synchronously.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Run several independent experiments concurrently (one thread each,
+/// capped at the hardware concurrency). Results are in input order.
+[[nodiscard]] std::vector<ExperimentResult> run_experiments(
+    std::span<const ExperimentConfig> configs);
+
+/// Convenience: the paper's standard setup (60 single-rack nodes, 4+2
+/// slots, replication 2, P_min 0.4) with the given jobs and scheduler.
+[[nodiscard]] ExperimentConfig paper_config(
+    std::vector<workload::JobDescription> jobs, SchedulerKind scheduler,
+    std::uint64_t seed = 42);
+
+}  // namespace mrs::driver

@@ -1,0 +1,198 @@
+#include "mrs/driver/result_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "mrs/common/csv.hpp"
+#include "mrs/common/strfmt.hpp"
+
+namespace mrs::driver {
+
+namespace {
+
+using mapreduce::JobKind;
+using mapreduce::Locality;
+
+std::string locality_code(Locality l) {
+  switch (l) {
+    case Locality::kNodeLocal: return "node";
+    case Locality::kRackLocal: return "rack";
+    case Locality::kRemote: return "remote";
+  }
+  return "?";
+}
+
+std::optional<Locality> parse_locality(const std::string& s) {
+  if (s == "node") return Locality::kNodeLocal;
+  if (s == "rack") return Locality::kRackLocal;
+  if (s == "remote") return Locality::kRemote;
+  return std::nullopt;
+}
+
+std::string kind_code(JobKind k) { return mapreduce::to_string(k); }
+
+std::optional<JobKind> parse_kind(const std::string& s) {
+  for (auto k : {JobKind::kWordcount, JobKind::kTerasort, JobKind::kGrep,
+                 JobKind::kCustom}) {
+    if (s == mapreduce::to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+/// Minimal CSV line splitter (fields written by CsvWriter; quotes only
+/// around job names, which never contain commas here).
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      out.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  out.push_back(std::move(field));
+  return out;
+}
+
+}  // namespace
+
+void save_result(const std::string& directory, const std::string& stem,
+                 const ExperimentResult& result) {
+  std::filesystem::create_directories(directory);
+  const std::string base = directory + "/" + stem;
+  {
+    CsvWriter meta(base + "_meta.csv",
+                   {"scheduler", "completed", "makespan", "events",
+                    "map_busy", "reduce_busy", "span", "map_slots",
+                    "reduce_slots"});
+    meta.row({result.scheduler_name, result.completed ? "1" : "0",
+              strf("%.17g", result.makespan),
+              strf("%zu", result.events_processed),
+              strf("%.17g", result.utilization.map_slot_seconds_busy),
+              strf("%.17g", result.utilization.reduce_slot_seconds_busy),
+              strf("%.17g", result.utilization.span),
+              strf("%zu", result.utilization.total_map_slots),
+              strf("%zu", result.utilization.total_reduce_slots)});
+  }
+  {
+    CsvWriter jobs(base + "_jobs.csv",
+                   {"id", "name", "kind", "maps", "reduces", "input_bytes",
+                    "shuffle_bytes", "submit", "finish"});
+    for (const auto& j : result.job_records) {
+      jobs.row({strf("%zu", j.id.value()), j.name, kind_code(j.kind),
+                strf("%zu", j.map_count), strf("%zu", j.reduce_count),
+                strf("%.17g", j.input_bytes), strf("%.17g", j.shuffle_bytes),
+                strf("%.17g", j.submit_time), strf("%.17g", j.finish_time)});
+    }
+  }
+  {
+    CsvWriter tasks(base + "_tasks.csv",
+                    {"job", "kind", "is_map", "index", "node", "locality",
+                     "assigned", "finished", "cost", "net_bytes",
+                     "attempts"});
+    for (const auto& t : result.task_records) {
+      tasks.row({strf("%zu", t.job.value()), kind_code(t.kind),
+                 t.is_map ? "1" : "0", strf("%zu", t.index),
+                 strf("%zu", t.node.value()), locality_code(t.locality),
+                 strf("%.17g", t.assigned_at), strf("%.17g", t.finished_at),
+                 strf("%.17g", t.placement_cost),
+                 strf("%.17g", t.network_bytes), strf("%zu", t.attempts)});
+    }
+  }
+}
+
+std::optional<ExperimentResult> load_result(const std::string& directory,
+                                            const std::string& stem) {
+  const std::string base = directory + "/" + stem;
+  std::ifstream meta_in(base + "_meta.csv");
+  std::ifstream jobs_in(base + "_jobs.csv");
+  std::ifstream tasks_in(base + "_tasks.csv");
+  if (!meta_in || !jobs_in || !tasks_in) return std::nullopt;
+
+  ExperimentResult result;
+  std::string line;
+
+  std::getline(meta_in, line);  // header
+  if (!std::getline(meta_in, line)) return std::nullopt;
+  {
+    const auto f = split_csv(line);
+    if (f.size() != 9) return std::nullopt;
+    result.scheduler_name = f[0];
+    result.completed = f[1] == "1";
+    result.makespan = std::stod(f[2]);
+    result.events_processed = std::stoul(f[3]);
+    result.utilization.map_slot_seconds_busy = std::stod(f[4]);
+    result.utilization.reduce_slot_seconds_busy = std::stod(f[5]);
+    result.utilization.span = std::stod(f[6]);
+    result.utilization.total_map_slots = std::stoul(f[7]);
+    result.utilization.total_reduce_slots = std::stoul(f[8]);
+  }
+
+  std::getline(jobs_in, line);  // header
+  while (std::getline(jobs_in, line)) {
+    if (line.empty()) continue;
+    const auto f = split_csv(line);
+    if (f.size() != 9) return std::nullopt;
+    mapreduce::JobRecord j;
+    j.id = JobId(std::stoul(f[0]));
+    j.name = f[1];
+    const auto kind = parse_kind(f[2]);
+    if (!kind) return std::nullopt;
+    j.kind = *kind;
+    j.map_count = std::stoul(f[3]);
+    j.reduce_count = std::stoul(f[4]);
+    j.input_bytes = std::stod(f[5]);
+    j.shuffle_bytes = std::stod(f[6]);
+    j.submit_time = std::stod(f[7]);
+    j.finish_time = std::stod(f[8]);
+    result.job_records.push_back(std::move(j));
+    result.makespan = std::max(result.makespan,
+                               result.job_records.back().finish_time);
+  }
+
+  std::getline(tasks_in, line);  // header
+  while (std::getline(tasks_in, line)) {
+    if (line.empty()) continue;
+    const auto f = split_csv(line);
+    if (f.size() != 11) return std::nullopt;
+    mapreduce::TaskRecord t;
+    t.job = JobId(std::stoul(f[0]));
+    const auto kind = parse_kind(f[1]);
+    if (!kind) return std::nullopt;
+    t.kind = *kind;
+    t.is_map = f[2] == "1";
+    t.index = std::stoul(f[3]);
+    t.node = NodeId(std::stoul(f[4]));
+    const auto loc = parse_locality(f[5]);
+    if (!loc) return std::nullopt;
+    t.locality = *loc;
+    t.assigned_at = std::stod(f[6]);
+    t.finished_at = std::stod(f[7]);
+    t.placement_cost = std::stod(f[8]);
+    t.network_bytes = std::stod(f[9]);
+    t.attempts = std::stoul(f[10]);
+    result.task_records.push_back(std::move(t));
+  }
+  return result;
+}
+
+}  // namespace mrs::driver

@@ -1,0 +1,23 @@
+// Persistence for experiment results: task/job records round-trip through
+// CSV files so expensive runs can be cached and post-processed offline
+// (the bench harness reuses one set of paper-scale runs across figures).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "mrs/driver/experiment.hpp"
+
+namespace mrs::driver {
+
+/// Write `result` into `directory` (created if needed) as three files:
+/// <stem>_meta.csv, <stem>_jobs.csv, <stem>_tasks.csv.
+void save_result(const std::string& directory, const std::string& stem,
+                 const ExperimentResult& result);
+
+/// Load a result previously written by save_result; nullopt when any of
+/// the three files is missing or malformed.
+[[nodiscard]] std::optional<ExperimentResult> load_result(
+    const std::string& directory, const std::string& stem);
+
+}  // namespace mrs::driver

@@ -1,0 +1,805 @@
+#include "mrs/mapreduce/engine.hpp"
+
+#include <algorithm>
+
+#include "mrs/common/log.hpp"
+#include "mrs/common/strfmt.hpp"
+
+namespace mrs::mapreduce {
+
+Engine::Engine(sim::Simulation* simulation, cluster::Cluster* cluster,
+               const dfs::BlockStore* blocks, sim::NetworkService* network,
+               const net::DistanceProvider* distance, EngineConfig config,
+               Rng rng)
+    : simulation_(simulation),
+      cluster_(cluster),
+      blocks_(blocks),
+      network_(network),
+      distance_(distance),
+      config_(config),
+      rng_(std::move(rng)),
+      heartbeats_(simulation, cluster->node_count(),
+                  config.heartbeat_interval) {
+  MRS_REQUIRE(simulation_ != nullptr && cluster_ != nullptr &&
+              blocks_ != nullptr && network_ != nullptr &&
+              distance_ != nullptr);
+  MRS_REQUIRE(config_.shuffle_parallel_fetchers >= 1);
+  MRS_REQUIRE(config_.reduce_slowstart >= 0.0 &&
+              config_.reduce_slowstart <= 1.0);
+  MRS_REQUIRE(config_.fault.straggler_probability >= 0.0 &&
+              config_.fault.straggler_probability <= 1.0);
+  MRS_REQUIRE(config_.fault.straggler_slowdown >= 1.0);
+  MRS_REQUIRE(config_.fault.speculation_slack > 1.0);
+}
+
+void Engine::set_scheduler(TaskScheduler* scheduler) {
+  MRS_REQUIRE(scheduler != nullptr);
+  scheduler_ = scheduler;
+}
+
+JobRun& Engine::submit(JobSpec spec, Rng rng) {
+  MRS_REQUIRE(!started_);
+  spec.id = JobId(jobs_.size());
+  for (const auto& m : spec.map_tasks) {
+    MRS_REQUIRE(m.block.value() < blocks_->block_count());
+  }
+  jobs_.push_back(std::make_unique<JobRun>(std::move(spec),
+                                           cluster_->node_count(),
+                                           std::move(rng)));
+  JobRun& job = *jobs_.back();
+
+  // Build the per-node/per-rack locality index (schedulers find local
+  // candidates in O(1)) and, when distances are time-invariant, the
+  // per-(task, node) minimum replica distance cache behind map_cost().
+  auto replica_nodes =
+      [this, &job](std::size_t j) -> const std::vector<NodeId>& {
+    return blocks_->replicas(job.spec().map_tasks[j].block);
+  };
+  job.build_placement_index(
+      replica_nodes, [this](NodeId n) { return topology().rack_of(n); },
+      topology().rack_count());
+  if (config_.map_cost_source == EngineConfig::MapCostSource::kHops) {
+    job.build_static_costs(
+        cluster_->node_count(), replica_nodes, [this](NodeId a, NodeId b) {
+          return static_cast<double>(topology().hops(a, b));
+        });
+  } else if (distance_->is_static()) {
+    job.build_static_costs(cluster_->node_count(), replica_nodes,
+                           [this](NodeId a, NodeId b) {
+                             return distance_->distance(a, b, 0.0);
+                           });
+  }
+
+  job_task_bytes_.push_back(
+      {std::vector<Bytes>(job.map_count(), 0.0),
+       std::vector<Bytes>(job.reduce_count(), 0.0)});
+  if (first_submit_ < 0.0 || job.submit_time < first_submit_) {
+    first_submit_ = job.submit_time;
+  }
+  return job;
+}
+
+void Engine::start() {
+  MRS_REQUIRE(!started_);
+  MRS_REQUIRE(scheduler_ != nullptr);
+  MRS_REQUIRE(!jobs_.empty());
+  started_ = true;
+  util_last_change_ = simulation_->now();
+  for (const auto& job : jobs_) {
+    JobRun* j = job.get();
+    simulation_->schedule_at(j->submit_time, [this, j] { activate_job(*j); });
+  }
+  heartbeats_.start([this](NodeId node) { on_heartbeat(node); });
+}
+
+void Engine::trace(sim::TraceEventKind kind, std::string subject,
+                   std::string detail) {
+  if (trace_ == nullptr) return;
+  trace_->record({now(), kind, std::move(subject), std::move(detail)});
+}
+
+void Engine::activate_job(JobRun& job) {
+  active_jobs_.push_back(&job);
+  log_debug("t=%.1f activate job %s", now(), job.spec().name.c_str());
+  trace(sim::TraceEventKind::kJobActivated, job.spec().name);
+}
+
+void Engine::on_heartbeat(NodeId node) {
+  if (active_jobs_.empty()) return;
+  if (!cluster_->node_alive(node)) return;  // dead trackers don't report
+  heartbeat_map_budget_ = config_.maps_per_heartbeat;
+  heartbeat_reduce_budget_ = config_.reduces_per_heartbeat;
+  if (config_.fault.speculative_execution) maybe_speculate(node);
+  scheduler_->on_heartbeat(*this, node);
+}
+
+double Engine::map_cost(const JobRun& job, std::size_t j, NodeId node) const {
+  const MapTaskSpec& spec = job.spec().map_tasks.at(j);
+  if (job.has_static_costs()) {
+    return spec.input_size * job.static_min_distance(j, node);
+  }
+  double best = std::numeric_limits<double>::max();
+  for (NodeId replica : blocks_->replicas(spec.block)) {
+    best = std::min(best, distance(node, replica));
+  }
+  return spec.input_size * best;
+}
+
+Locality Engine::map_locality(const JobRun& job, std::size_t j,
+                              NodeId node) const {
+  const MapTaskSpec& spec = job.spec().map_tasks.at(j);
+  bool rack_local = false;
+  for (NodeId replica : blocks_->replicas(spec.block)) {
+    if (replica == node) return Locality::kNodeLocal;
+    if (topology().same_rack(replica, node)) rack_local = true;
+  }
+  return rack_local ? Locality::kRackLocal : Locality::kRemote;
+}
+
+void Engine::touch_utilization() {
+  const Seconds t = simulation_->now();
+  const Seconds dt = t - util_last_change_;
+  if (dt > 0.0) {
+    map_busy_integral_ +=
+        dt * static_cast<double>(cluster_->busy_map_slots());
+    reduce_busy_integral_ +=
+        dt * static_cast<double>(cluster_->busy_reduce_slots());
+  }
+  util_last_change_ = t;
+}
+
+UtilizationSummary Engine::utilization() const {
+  UtilizationSummary u;
+  u.map_slot_seconds_busy = map_busy_integral_;
+  u.reduce_slot_seconds_busy = reduce_busy_integral_;
+  u.span = std::max(0.0, last_finish_ - std::max(0.0, first_submit_));
+  u.total_map_slots = cluster_->total_map_slots();
+  u.total_reduce_slots = cluster_->total_reduce_slots();
+  return u;
+}
+
+// ---------------------------------------------------------------------------
+// Map task lifecycle
+// ---------------------------------------------------------------------------
+
+Seconds Engine::draw_compute_duration(const JobRun& job, std::size_t j,
+                                      NodeId node, bool* straggler) {
+  const double speed = cluster_->node(node).speed_factor;
+  Seconds duration =
+      job.spec().map_tasks[j].input_size / (job.spec().map_rate * speed);
+  *straggler = config_.fault.straggler_probability > 0.0 &&
+               rng_.bernoulli(config_.fault.straggler_probability);
+  if (*straggler) duration *= config_.fault.straggler_slowdown;
+  return duration;
+}
+
+void Engine::assign_map(JobRun& job, std::size_t j, NodeId node) {
+  MapTaskState& s = job.map_state(j);
+  MRS_REQUIRE(s.phase == MapPhase::kUnassigned);
+  MRS_REQUIRE(cluster_->node(node).free_map_slots() > 0);
+  MRS_REQUIRE(heartbeat_map_budget_ > 0);
+  --heartbeat_map_budget_;
+
+  touch_utilization();
+  cluster_->occupy_map_slot(node);
+  s.node = node;
+  s.assigned_at = now();
+  s.locality = map_locality(job, j, node);
+  s.placement_cost = map_cost(job, j, node);
+  s.phase = MapPhase::kStartup;
+  s.fetch_flow = FlowId::invalid();
+  ++s.attempts;
+  job.note_map_assigned();
+  if (job.first_task_start < 0.0) job.first_task_start = now();
+  trace(sim::TraceEventKind::kMapAssigned,
+        strf("%s/map/%zu", job.spec().name.c_str(), j),
+        strf("node=%zu locality=%s", node.value(), to_string(s.locality)));
+
+  const auto epoch = s.epoch;
+  s.pending_event = simulation_->schedule_in(
+      job.spec().task_startup, [this, &job, j, epoch] {
+        if (job.map_state(j).epoch != epoch) return;  // attempt was killed
+        map_attempt_ready(job, j, /*backup=*/false);
+      });
+}
+
+void Engine::map_attempt_ready(JobRun& job, std::size_t j, bool backup) {
+  MapTaskState& s = job.map_state(j);
+  const MapTaskSpec& spec = job.spec().map_tasks[j];
+  const NodeId node = backup ? s.backup.node : s.node;
+  const Locality locality = map_locality(job, j, node);
+  if (locality == Locality::kNodeLocal) {
+    start_map_compute(job, j, backup);
+    return;
+  }
+  // Remote input is *streamed* from the best replica while the map
+  // computes (Hadoop maps read their split as they process it): the flow
+  // is application-limited to the map's compute rate, and the task
+  // finishes when the last byte has been pulled — exactly the compute time
+  // when the path keeps up, the transfer time when the network is the
+  // bottleneck.
+  NodeId src;
+  double best = std::numeric_limits<double>::max();
+  for (NodeId replica : blocks_->replicas(spec.block)) {
+    const double d = distance(node, replica);
+    if (d < best) {
+      best = d;
+      src = replica;
+    }
+  }
+  MRS_ASSERT(src.valid() && src != node);
+  bool straggler = false;
+  const Seconds nominal = draw_compute_duration(job, j, node, &straggler);
+  const double cap = spec.input_size / nominal;
+  job_task_bytes_[job.id().value()].map_in[j] += spec.input_size;
+
+  const auto epoch = s.epoch;
+  const FlowId flow = network_->transfer(
+      src, node, spec.input_size,
+      [this, &job, j, backup, epoch] {
+        if (job.map_state(j).epoch != epoch) return;
+        finish_map(job, j, backup);
+      },
+      /*rate_cap=*/cap);
+  if (backup) {
+    s.backup.phase = MapPhase::kFetching;
+    s.backup.compute_start = now();
+    s.backup.compute_duration = nominal;
+    s.backup.fetch_flow = flow;
+  } else {
+    s.phase = MapPhase::kFetching;
+    s.compute_start = now();
+    s.compute_duration = nominal;
+    s.straggler = straggler;
+    s.fetch_flow = flow;
+  }
+}
+
+void Engine::start_map_compute(JobRun& job, std::size_t j, bool backup) {
+  MapTaskState& s = job.map_state(j);
+  const NodeId node = backup ? s.backup.node : s.node;
+  bool straggler = false;
+  const Seconds duration = draw_compute_duration(job, j, node, &straggler);
+  const auto epoch = s.epoch;
+  const auto handle = simulation_->schedule_in(
+      duration, [this, &job, j, backup, epoch] {
+        if (job.map_state(j).epoch != epoch) return;
+        finish_map(job, j, backup);
+      });
+  if (backup) {
+    s.backup.phase = MapPhase::kComputing;
+    s.backup.compute_start = now();
+    s.backup.compute_duration = duration;
+    s.backup.pending_event = handle;
+  } else {
+    s.phase = MapPhase::kComputing;
+    s.compute_start = now();
+    s.compute_duration = duration;
+    s.straggler = straggler;
+    s.pending_event = handle;
+  }
+}
+
+void Engine::kill_map_attempt(JobRun& job, std::size_t j, bool backup) {
+  MapTaskState& s = job.map_state(j);
+  touch_utilization();
+  if (backup) {
+    // Killing only the backup: the primary's in-flight callbacks must stay
+    // valid, so the epoch is untouched (the backup's own event/flow are
+    // cancelled explicitly).
+    MRS_REQUIRE(s.backup.active);
+    simulation_->cancel(s.backup.pending_event);
+    if (s.backup.fetch_flow.valid()) network_->cancel(s.backup.fetch_flow);
+    cluster_->release_map_slot(s.backup.node);
+    s.backup = MapBackupAttempt{};
+  } else {
+    // Full attempt kill: the task returns to the unassigned pool. Any
+    // surviving backup must be killed by the caller first.
+    MRS_REQUIRE(!s.backup.active);
+    MRS_REQUIRE(s.phase != MapPhase::kUnassigned &&
+                s.phase != MapPhase::kDone);
+    simulation_->cancel(s.pending_event);
+    if (s.fetch_flow.valid()) network_->cancel(s.fetch_flow);
+    s.fetch_flow = FlowId::invalid();
+    cluster_->release_map_slot(s.node);
+    s.phase = MapPhase::kUnassigned;
+    s.compute_start = -1.0;
+    s.compute_duration = 0.0;
+    s.straggler = false;
+    ++s.epoch;  // invalidate any stale in-flight callbacks
+    trace(sim::TraceEventKind::kMapKilled,
+          strf("%s/map/%zu", job.spec().name.c_str(), j));
+  }
+}
+
+void Engine::finish_map(JobRun& job, std::size_t j, bool backup) {
+  MapTaskState& s = job.map_state(j);
+  MRS_ASSERT(backup ? s.backup.active
+                    : (s.phase == MapPhase::kComputing ||
+                       s.phase == MapPhase::kFetching));
+
+  if (backup) {
+    // The backup wins the race: kill the (slower) primary and promote the
+    // backup's placement so downstream consumers see the real data
+    // location.
+    const MapBackupAttempt won = s.backup;
+    simulation_->cancel(s.pending_event);
+    if (s.fetch_flow.valid()) network_->cancel(s.fetch_flow);
+    cluster_->release_map_slot(s.node);
+    s.backup = MapBackupAttempt{};
+    s.node = won.node;
+    s.locality = map_locality(job, j, won.node);
+    s.placement_cost = map_cost(job, j, won.node);
+    s.compute_start = won.compute_start;
+    s.compute_duration = won.compute_duration;
+  } else if (s.backup.active) {
+    // The primary wins: kill the backup copy.
+    simulation_->cancel(s.backup.pending_event);
+    if (s.backup.fetch_flow.valid()) {
+      network_->cancel(s.backup.fetch_flow);
+    }
+    cluster_->release_map_slot(s.backup.node);
+    s.backup = MapBackupAttempt{};
+  }
+  ++s.epoch;
+
+  s.phase = MapPhase::kDone;
+  s.finished_at = now();
+  touch_utilization();
+  cluster_->release_map_slot(s.node);
+  job.note_map_finished();
+  job.record_map_duration(s.finished_at - s.assigned_at);
+  record_task(job, /*is_map=*/true, j);
+  trace(sim::TraceEventKind::kMapFinished,
+        strf("%s/map/%zu", job.spec().name.c_str(), j),
+        strf("node=%zu attempts=%zu", s.node.value(), s.attempts));
+
+  // Publish this map's output to every reduce task already shuffling (and
+  // not already holding it from a pre-failure run).
+  for (std::size_t f = 0; f < job.reduce_count(); ++f) {
+    ReduceTaskState& r = job.reduce_state(f);
+    if (r.phase != ReducePhase::kShuffling) continue;
+    if (r.fetched_map[j]) continue;
+    r.pending_by_node[s.node.value()].push_back(j);
+    ++r.pending_maps;
+    pump_reduce_fetchers(job, f);
+  }
+  check_job_complete(job);
+}
+
+void Engine::maybe_speculate(NodeId node) {
+  const auto& fault = config_.fault;
+  // At most one backup launch per heartbeat (it costs map budget like any
+  // launch) — speculation is a repair mechanism, not a scheduler.
+  if (heartbeat_map_budget_ > 0 &&
+      cluster_->node(node).free_map_slots() > 0) {
+    // Find the most-lagging speculation-eligible map attempt.
+    JobRun* best_job = nullptr;
+    std::size_t best_task = 0;
+    double best_lag = 0.0;
+    for (JobRun* job : active_jobs_) {
+      if (job->map_finished_fraction() < fault.speculation_min_progress) {
+        continue;
+      }
+      const auto& durations = job->map_duration_stats();
+      if (durations.count() == 0) continue;
+      // Hadoop's speculativecap: bound concurrent backups per job so the
+      // extra copies can't congest the cluster into more "stragglers".
+      std::size_t active_backups = 0;
+      for (std::size_t j = 0; j < job->map_count(); ++j) {
+        if (job->map_state(j).backup.active) ++active_backups;
+      }
+      const auto cap = static_cast<std::size_t>(
+          fault.speculation_cap * static_cast<double>(job->map_count()));
+      if (active_backups >= std::max<std::size_t>(cap, 1)) continue;
+
+      const Seconds threshold = fault.speculation_slack * durations.mean();
+      for (std::size_t j = 0; j < job->map_count(); ++j) {
+        const MapTaskState& s = job->map_state(j);
+        if (s.phase != MapPhase::kComputing &&
+            s.phase != MapPhase::kFetching) {
+          continue;
+        }
+        if (s.backup.active || s.node == node) continue;
+        const Seconds elapsed = now() - s.assigned_at;
+        if (elapsed < threshold) continue;
+        if (elapsed - threshold > best_lag || best_job == nullptr) {
+          best_lag = elapsed - threshold;
+          best_job = job;
+          best_task = j;
+        }
+      }
+    }
+    if (best_job == nullptr) return;
+
+    // Launch the backup copy here (costs one map budget like any launch).
+    --heartbeat_map_budget_;
+    ++speculative_attempts_;
+    trace(sim::TraceEventKind::kSpeculativeLaunch,
+          strf("%s/map/%zu", best_job->spec().name.c_str(), best_task),
+          strf("backup-node=%zu", node.value()));
+    touch_utilization();
+    cluster_->occupy_map_slot(node);
+    MapTaskState& s = best_job->map_state(best_task);
+    s.backup.active = true;
+    s.backup.node = node;
+    s.backup.phase = MapPhase::kStartup;
+    s.backup.assigned_at = now();
+    ++s.attempts;
+    const auto epoch = s.epoch;
+    JobRun& job = *best_job;
+    const std::size_t j = best_task;
+    s.backup.pending_event = simulation_->schedule_in(
+        job.spec().task_startup, [this, &job, j, epoch] {
+          if (job.map_state(j).epoch != epoch) return;
+          map_attempt_ready(job, j, /*backup=*/true);
+        });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reduce task lifecycle
+// ---------------------------------------------------------------------------
+
+void Engine::assign_reduce(JobRun& job, std::size_t f, NodeId node) {
+  ReduceTaskState& r = job.reduce_state(f);
+  MRS_REQUIRE(r.phase == ReducePhase::kUnassigned);
+  MRS_REQUIRE(cluster_->node(node).free_reduce_slots() > 0);
+  MRS_REQUIRE(heartbeat_reduce_budget_ > 0);
+  --heartbeat_reduce_budget_;
+
+  touch_utilization();
+  cluster_->occupy_reduce_slot(node);
+  r.node = node;
+  r.assigned_at = now();
+  // Locality per the paper's Sec. III-C definition ("a task assigned to a
+  // machine with data for that task"), evaluated at assignment: a reduce is
+  // node-local when its machine already holds materialised map output of
+  // the job (a completed map ran here). Blind early launches therefore
+  // score worse than data-aware ones.
+  r.locality = Locality::kRemote;
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    const MapTaskState& m = job.map_state(j);
+    if (m.phase != MapPhase::kDone) continue;
+    if (m.node == node) {
+      r.locality = Locality::kNodeLocal;
+      break;
+    }
+    if (topology().same_rack(m.node, node)) {
+      r.locality = Locality::kRackLocal;
+    }
+  }
+  r.phase = ReducePhase::kStartup;
+  ++r.attempts;
+  job.note_reduce_assigned();
+  if (job.first_task_start < 0.0) job.first_task_start = now();
+  trace(sim::TraceEventKind::kReduceAssigned,
+        strf("%s/reduce/%zu", job.spec().name.c_str(), f),
+        strf("node=%zu locality=%s", node.value(), to_string(r.locality)));
+
+  const auto epoch = r.epoch;
+  r.pending_event = simulation_->schedule_in(
+      job.spec().task_startup, [this, &job, f, epoch] {
+        if (job.reduce_state(f).epoch != epoch) return;
+        start_reduce_shuffle(job, f);
+      });
+}
+
+void Engine::start_reduce_shuffle(JobRun& job, std::size_t f) {
+  ReduceTaskState& r = job.reduce_state(f);
+  r.phase = ReducePhase::kShuffling;
+  // Seed with every map that finished before this reduce started (skipping
+  // outputs already copied by a pre-failure incarnation — there are none
+  // on a fresh attempt because the kill resets the bitmap).
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    const MapTaskState& m = job.map_state(j);
+    if (m.phase == MapPhase::kDone && !r.fetched_map[j]) {
+      r.pending_by_node[m.node.value()].push_back(j);
+      ++r.pending_maps;
+    }
+  }
+  pump_reduce_fetchers(job, f);
+}
+
+void Engine::kill_reduce_attempt(JobRun& job, std::size_t f) {
+  ReduceTaskState& r = job.reduce_state(f);
+  MRS_REQUIRE(r.phase != ReducePhase::kUnassigned &&
+              r.phase != ReducePhase::kDone);
+  touch_utilization();
+  simulation_->cancel(r.pending_event);
+  for (FlowId flow : r.inflight_flows) network_->cancel(flow);
+  for (const auto& h : r.inflight_copies) simulation_->cancel(h);
+  r.inflight_flows.clear();
+  r.inflight_copies.clear();
+  cluster_->release_reduce_slot(r.node);
+  // Reset shuffle bookkeeping: a re-run refetches everything.
+  for (auto& bucket : r.pending_by_node) bucket.clear();
+  r.pending_maps = 0;
+  r.fetched_maps = 0;
+  r.active_fetchers = 0;
+  r.bytes_fetched = 0.0;
+  std::fill(r.fetched_map.begin(), r.fetched_map.end(), false);
+  r.phase = ReducePhase::kUnassigned;
+  r.postpone_count = 0;
+  ++r.epoch;
+  job.note_reduce_attempt_lost();
+  trace(sim::TraceEventKind::kReduceKilled,
+        strf("%s/reduce/%zu", job.spec().name.c_str(), f));
+}
+
+void Engine::pump_reduce_fetchers(JobRun& job, std::size_t f) {
+  ReduceTaskState& r = job.reduce_state(f);
+  if (r.phase != ReducePhase::kShuffling) return;
+
+  const std::size_t nodes = cluster_->node_count();
+  while (r.active_fetchers < config_.shuffle_parallel_fetchers &&
+         r.pending_maps > 0) {
+    // Prefer the local batch (no network), then the first non-empty source.
+    std::size_t src = nodes;
+    if (!r.pending_by_node[r.node.value()].empty()) {
+      src = r.node.value();
+    } else {
+      for (std::size_t p = 0; p < nodes; ++p) {
+        if (!r.pending_by_node[p].empty()) {
+          src = p;
+          break;
+        }
+      }
+    }
+    MRS_ASSERT(src < nodes);
+
+    std::vector<std::size_t> batch = std::move(r.pending_by_node[src]);
+    r.pending_by_node[src].clear();
+    MRS_ASSERT(r.pending_maps >= batch.size());
+    r.pending_maps -= batch.size();
+    Bytes bytes = 0.0;
+    for (std::size_t j : batch) bytes += job.final_partition(j, f);
+
+    if (bytes <= 0.0) {
+      // Nothing to move for this partition; account and keep pumping.
+      r.fetched_maps += batch.size();
+      for (std::size_t j : batch) r.fetched_map[j] = true;
+      continue;
+    }
+
+    ++r.active_fetchers;
+    const auto epoch = r.epoch;
+    auto on_done = [this, &job, f, epoch, batch = std::move(batch),
+                    bytes] {
+      ReduceTaskState& rr = job.reduce_state(f);
+      if (rr.epoch != epoch) return;  // attempt was killed mid-fetch
+      --rr.active_fetchers;
+      rr.fetched_maps += batch.size();
+      rr.bytes_fetched += bytes;
+      for (std::size_t j : batch) rr.fetched_map[j] = true;
+      if (rr.fetched_maps == job.map_count()) {
+        finish_reduce_shuffle(job, f);
+        return;
+      }
+      pump_reduce_fetchers(job, f);
+    };
+
+    if (src == r.node.value()) {
+      // Local copy: bounded by the node's disk rate, no network flow.
+      const Seconds t = bytes / cluster_->node(r.node).disk_rate;
+      r.inflight_copies.push_back(
+          simulation_->schedule_in(t, std::move(on_done)));
+    } else {
+      job_task_bytes_[job.id().value()].reduce_in[f] += bytes;
+      r.inflight_flows.push_back(network_->transfer(
+          NodeId(src), r.node, bytes, std::move(on_done)));
+    }
+  }
+
+  if (r.fetched_maps == job.map_count() &&
+      r.phase == ReducePhase::kShuffling) {
+    finish_reduce_shuffle(job, f);
+  }
+}
+
+void Engine::finish_reduce_shuffle(JobRun& job, std::size_t f) {
+  ReduceTaskState& r = job.reduce_state(f);
+  MRS_ASSERT(r.phase == ReducePhase::kShuffling);
+  MRS_ASSERT(r.fetched_maps == job.map_count());
+  r.phase = ReducePhase::kComputing;
+  r.shuffle_done_at = now();
+  r.inflight_flows.clear();
+  r.inflight_copies.clear();
+  Bytes total = 0.0;
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    total += job.final_partition(j, f);
+  }
+  double speed = cluster_->node(r.node).speed_factor;
+  if (config_.fault.reduce_stragglers &&
+      config_.fault.straggler_probability > 0.0 &&
+      rng_.bernoulli(config_.fault.straggler_probability)) {
+    speed /= config_.fault.straggler_slowdown;
+  }
+  const Seconds duration = total / (job.spec().reduce_rate * speed);
+  const auto epoch = r.epoch;
+  r.pending_event =
+      simulation_->schedule_in(duration, [this, &job, f, epoch] {
+        if (job.reduce_state(f).epoch != epoch) return;
+        finish_reduce(job, f);
+      });
+}
+
+void Engine::finish_reduce(JobRun& job, std::size_t f) {
+  ReduceTaskState& r = job.reduce_state(f);
+  MRS_ASSERT(r.phase == ReducePhase::kComputing);
+  ++r.epoch;  // no further callbacks for this attempt
+  r.phase = ReducePhase::kDone;
+  r.finished_at = now();
+  touch_utilization();
+  cluster_->release_reduce_slot(r.node);
+
+  // Realized placement cost (Eq. 2 with ground-truth I). Locality was
+  // classified at assignment time.
+  double cost = 0.0;
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    const Bytes bytes = job.final_partition(j, f);
+    cost += bytes * distance(job.map_state(j).node, r.node);
+  }
+  r.placement_cost = cost;
+
+  job.note_reduce_finished();
+  record_task(job, /*is_map=*/false, f);
+  trace(sim::TraceEventKind::kReduceFinished,
+        strf("%s/reduce/%zu", job.spec().name.c_str(), f),
+        strf("node=%zu attempts=%zu", r.node.value(), r.attempts));
+  check_job_complete(job);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+void Engine::fail_node(NodeId node) {
+  if (!cluster_->node_alive(node)) return;  // already down
+  ++failures_injected_;
+  log_info("t=%.1f node %zu failed", now(), node.value());
+  trace(sim::TraceEventKind::kNodeFailed, strf("node/%zu", node.value()));
+
+  for (const auto& job_ptr : jobs_) {
+    JobRun& job = *job_ptr;
+    if (job.complete()) continue;
+
+    // --- map attempts on the failed node ---
+    for (std::size_t j = 0; j < job.map_count(); ++j) {
+      MapTaskState& s = job.map_state(j);
+      // Backup copy on the dead node: drop it (primary keeps running).
+      if (s.backup.active && s.backup.node == node) {
+        kill_map_attempt(job, j, /*backup=*/true);
+      }
+      // Primary on the dead node: kill both attempts (a surviving backup
+      // is discarded too — simple and rare) and reschedule the task.
+      const bool primary_running = s.phase == MapPhase::kStartup ||
+                                   s.phase == MapPhase::kFetching ||
+                                   s.phase == MapPhase::kComputing;
+      if (primary_running && s.node == node) {
+        if (s.backup.active) kill_map_attempt(job, j, /*backup=*/true);
+        kill_map_attempt(job, j, /*backup=*/false);
+        job.note_map_attempt_lost();
+      }
+    }
+
+    // --- completed map outputs stored on the failed node ---
+    // An output is lost for every consumer that has not copied it yet;
+    // if any active or future reduce still needs it, the map re-runs.
+    for (std::size_t j = 0; j < job.map_count(); ++j) {
+      MapTaskState& s = job.map_state(j);
+      if (s.phase != MapPhase::kDone || s.node != node) continue;
+      bool needed = false;
+      for (std::size_t f = 0; f < job.reduce_count() && !needed; ++f) {
+        const ReduceTaskState& r = job.reduce_state(f);
+        needed = r.phase != ReducePhase::kDone && !r.fetched_map[j];
+      }
+      if (!needed) continue;
+      // Remove any still-pending shuffle entries referencing this output.
+      for (std::size_t f = 0; f < job.reduce_count(); ++f) {
+        ReduceTaskState& r = job.reduce_state(f);
+        if (r.phase != ReducePhase::kShuffling) continue;
+        auto& bucket = r.pending_by_node[node.value()];
+        const auto it = std::find(bucket.begin(), bucket.end(), j);
+        if (it != bucket.end()) {
+          bucket.erase(it);
+          --r.pending_maps;
+        }
+      }
+      s.phase = MapPhase::kUnassigned;
+      s.compute_start = -1.0;
+      s.compute_duration = 0.0;
+      ++s.epoch;
+      job.note_map_output_lost();
+      log_debug("t=%.1f map %zu of %s re-runs (output lost)", now(), j,
+                job.spec().name.c_str());
+    }
+
+    // --- reduce attempts on the failed node ---
+    for (std::size_t f = 0; f < job.reduce_count(); ++f) {
+      ReduceTaskState& r = job.reduce_state(f);
+      const bool running = r.phase == ReducePhase::kStartup ||
+                           r.phase == ReducePhase::kShuffling ||
+                           r.phase == ReducePhase::kComputing;
+      if (running && r.node == node) {
+        kill_reduce_attempt(job, f);
+      }
+    }
+  }
+
+  touch_utilization();
+  cluster_->set_node_alive(node, false);
+}
+
+void Engine::recover_node(NodeId node) {
+  if (cluster_->node_alive(node)) return;
+  log_info("t=%.1f node %zu recovered", now(), node.value());
+  trace(sim::TraceEventKind::kNodeRecovered,
+        strf("node/%zu", node.value()));
+  touch_utilization();
+  cluster_->set_node_alive(node, true);
+}
+
+// ---------------------------------------------------------------------------
+// Completion & records
+// ---------------------------------------------------------------------------
+
+void Engine::record_task(const JobRun& job, bool is_map, std::size_t index) {
+  TaskRecord rec;
+  rec.job = job.id();
+  rec.kind = job.spec().kind;
+  rec.is_map = is_map;
+  rec.index = index;
+  if (is_map) {
+    const MapTaskState& s = job.map_state(index);
+    rec.node = s.node;
+    rec.locality = s.locality;
+    rec.assigned_at = s.assigned_at;
+    rec.finished_at = s.finished_at;
+    rec.placement_cost = s.placement_cost;
+    rec.network_bytes = job_task_bytes_[job.id().value()].map_in[index];
+    rec.attempts = s.attempts;
+  } else {
+    const ReduceTaskState& s = job.reduce_state(index);
+    rec.node = s.node;
+    rec.locality = s.locality;
+    rec.assigned_at = s.assigned_at;
+    rec.finished_at = s.finished_at;
+    rec.placement_cost = s.placement_cost;
+    rec.network_bytes = job_task_bytes_[job.id().value()].reduce_in[index];
+    rec.attempts = s.attempts;
+  }
+  task_records_.push_back(rec);
+}
+
+void Engine::check_job_complete(JobRun& job) {
+  if (!job.complete() || job.finish_time >= 0.0) return;
+  job.finish_time = now();
+  last_finish_ = std::max(last_finish_, job.finish_time);
+
+  JobRecord rec;
+  rec.id = job.id();
+  rec.name = job.spec().name;
+  rec.kind = job.spec().kind;
+  rec.map_count = job.map_count();
+  rec.reduce_count = job.reduce_count();
+  rec.input_bytes = job.spec().total_input();
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    rec.shuffle_bytes += job.total_map_output(j);
+  }
+  rec.submit_time = job.submit_time;
+  rec.finish_time = job.finish_time;
+  job_records_.push_back(std::move(rec));
+
+  active_jobs_.erase(
+      std::remove(active_jobs_.begin(), active_jobs_.end(), &job),
+      active_jobs_.end());
+  ++jobs_completed_;
+  trace(sim::TraceEventKind::kJobFinished, job.spec().name,
+        strf("jct=%.3f", job.finish_time - job.submit_time));
+  log_debug("t=%.1f job %s complete (%zu/%zu)", now(),
+            job.spec().name.c_str(), jobs_completed_, jobs_.size());
+  if (jobs_completed_ == jobs_.size()) heartbeats_.stop();
+}
+
+}  // namespace mrs::mapreduce

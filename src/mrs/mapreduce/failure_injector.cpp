@@ -1,0 +1,50 @@
+#include "mrs/mapreduce/failure_injector.hpp"
+
+#include <vector>
+
+namespace mrs::mapreduce {
+
+FailureInjector::FailureInjector(sim::Simulation* simulation, Engine* engine,
+                                 cluster::Cluster* cluster,
+                                 FailureInjectorConfig config, Rng rng)
+    : simulation_(simulation),
+      engine_(engine),
+      cluster_(cluster),
+      config_(config),
+      rng_(std::move(rng)) {
+  MRS_REQUIRE(simulation_ != nullptr && engine_ != nullptr &&
+              cluster_ != nullptr);
+  MRS_REQUIRE(config_.repair_time > 0.0);
+}
+
+void FailureInjector::start() {
+  if (config_.cluster_mtbf <= 0.0) return;
+  arm_next();
+}
+
+void FailureInjector::arm_next() {
+  simulation_->schedule_in(rng_.exponential(config_.cluster_mtbf),
+                           [this] { fire(); });
+}
+
+void FailureInjector::fire() {
+  // Stop once the workload is done so the event queue can drain.
+  if (engine_->all_jobs_complete()) return;
+
+  std::vector<NodeId> alive;
+  for (std::size_t i = 0; i < cluster_->node_count(); ++i) {
+    if (cluster_->node_alive(NodeId(i))) alive.push_back(NodeId(i));
+  }
+  // Never take the last node down: the cluster must stay schedulable.
+  if (alive.size() > 1) {
+    const NodeId victim = alive[rng_.index(alive.size())];
+    engine_->fail_node(victim);
+    ++fired_;
+    simulation_->schedule_in(config_.repair_time, [this, victim] {
+      engine_->recover_node(victim);
+    });
+  }
+  arm_next();
+}
+
+}  // namespace mrs::mapreduce

@@ -1,0 +1,45 @@
+// Random TaskTracker failures: exponential inter-arrival across the
+// cluster, each failed node recovering after a fixed repair time. Drives
+// Engine::fail_node / recover_node; stops arming once every job completed
+// so the event queue can drain.
+#pragma once
+
+#include "mrs/cluster/cluster.hpp"
+#include "mrs/common/rng.hpp"
+#include "mrs/mapreduce/engine.hpp"
+#include "mrs/sim/simulation.hpp"
+
+namespace mrs::mapreduce {
+
+struct FailureInjectorConfig {
+  /// Mean time between failures across the whole cluster (exponential).
+  /// <= 0 disables injection.
+  Seconds cluster_mtbf = 0.0;
+  /// TaskTracker restart time.
+  Seconds repair_time = 120.0;
+};
+
+class FailureInjector {
+ public:
+  FailureInjector(sim::Simulation* simulation, Engine* engine,
+                  cluster::Cluster* cluster, FailureInjectorConfig config,
+                  Rng rng);
+
+  /// Arm the first failure (no-op when disabled).
+  void start();
+
+  [[nodiscard]] std::size_t failures_fired() const { return fired_; }
+
+ private:
+  void arm_next();
+  void fire();
+
+  sim::Simulation* simulation_;
+  Engine* engine_;
+  cluster::Cluster* cluster_;
+  FailureInjectorConfig config_;
+  Rng rng_;
+  std::size_t fired_ = 0;
+};
+
+}  // namespace mrs::mapreduce

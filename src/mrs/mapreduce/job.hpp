@@ -1,0 +1,87 @@
+// Static description of a MapReduce job.
+//
+// A JobSpec fixes everything known at submission: the input blocks (one map
+// task per block, matching Hadoop's split-per-block default), the reduce
+// count, and the execution-model parameters derived from the application
+// profile (Wordcount / Terasort / Grep in the paper's evaluation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mrs/common/ids.hpp"
+#include "mrs/common/units.hpp"
+
+namespace mrs::mapreduce {
+
+enum class JobKind { kWordcount, kTerasort, kGrep, kCustom };
+
+[[nodiscard]] constexpr const char* to_string(JobKind k) {
+  switch (k) {
+    case JobKind::kWordcount: return "Wordcount";
+    case JobKind::kTerasort: return "Terasort";
+    case JobKind::kGrep: return "Grep";
+    case JobKind::kCustom: return "Custom";
+  }
+  return "?";
+}
+
+/// One map task = one input block.
+struct MapTaskSpec {
+  BlockId block;
+  Bytes input_size = 0.0;  ///< B_j in the paper
+};
+
+struct JobSpec {
+  JobId id;
+  std::string name;
+  JobKind kind = JobKind::kCustom;
+  std::vector<MapTaskSpec> map_tasks;
+  std::size_t reduce_count = 1;
+
+  // --- execution model ---
+  /// Input bytes a map function processes per second on a speed-1.0 node.
+  BytesPerSec map_rate = 32.0 * units::kMiB;
+  /// Shuffled bytes a reduce function (merge+sort+reduce) processes per
+  /// second on a speed-1.0 node.
+  BytesPerSec reduce_rate = 24.0 * units::kMiB;
+  /// Intermediate bytes produced per input byte (job-wide mean).
+  double map_selectivity = 1.0;
+  /// Lognormal sigma applied per map task to the selectivity.
+  double selectivity_jitter = 0.1;
+  /// Zipf exponent of the intermediate-key partition sizes across reduce
+  /// tasks (0 = uniform partitions).
+  double partition_skew = 0.4;
+  /// Map output ramp exponent alpha: A_jf(progress p) = I_jf * p^alpha.
+  /// 1.0 = perfectly linear emission (the paper's Eq. 3 estimator is then
+  /// exact); != 1.0 stresses the estimator.
+  double emit_nonlinearity = 1.0;
+  /// Fixed per-task startup overhead (JVM launch etc.).
+  Seconds task_startup = 1.0;
+  /// Submission time relative to experiment start.
+  Seconds submit_time = 0.0;
+  /// Job-level scheduling weight (Fair Scheduler pools give heavier jobs a
+  /// larger share; 1.0 = equal share). Used by JobOrder::kWeightedFair.
+  double weight = 1.0;
+
+  [[nodiscard]] std::size_t map_count() const { return map_tasks.size(); }
+  [[nodiscard]] Bytes total_input() const {
+    Bytes sum = 0.0;
+    for (const auto& m : map_tasks) sum += m.input_size;
+    return sum;
+  }
+};
+
+/// Task locality classes used by Table III and Fig. 7 (Sec. III-C).
+enum class Locality { kNodeLocal, kRackLocal, kRemote };
+
+[[nodiscard]] constexpr const char* to_string(Locality l) {
+  switch (l) {
+    case Locality::kNodeLocal: return "node-local";
+    case Locality::kRackLocal: return "rack-local";
+    case Locality::kRemote: return "remote";
+  }
+  return "?";
+}
+
+}  // namespace mrs::mapreduce

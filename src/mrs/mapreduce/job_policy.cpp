@@ -1,0 +1,53 @@
+#include "mrs/mapreduce/job_policy.hpp"
+
+#include <algorithm>
+
+namespace mrs::mapreduce {
+
+std::vector<JobRun*> jobs_for_maps(const Engine& engine, JobOrder order) {
+  std::vector<JobRun*> jobs;
+  for (JobRun* job : engine.active_jobs()) {
+    if (job->maps_unassigned() > 0) jobs.push_back(job);
+  }
+  if (order == JobOrder::kFair) {
+    // Fewest running map tasks first; stable so submission order breaks
+    // ties deterministically.
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [](const JobRun* a, const JobRun* b) {
+                       return a->maps_running() < b->maps_running();
+                     });
+  } else if (order == JobOrder::kWeightedFair) {
+    // Smallest deficit (running / weight) first: a weight-2 job deserves
+    // twice the concurrent tasks of a weight-1 job.
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [](const JobRun* a, const JobRun* b) {
+                       return double(a->maps_running()) / a->spec().weight <
+                              double(b->maps_running()) / b->spec().weight;
+                     });
+  }
+  return jobs;
+}
+
+std::vector<JobRun*> jobs_for_reduces(const Engine& engine, JobOrder order) {
+  std::vector<JobRun*> jobs;
+  for (JobRun* job : engine.active_jobs()) {
+    if (job->reduces_unassigned() > 0 && engine.reduce_gate_open(*job)) {
+      jobs.push_back(job);
+    }
+  }
+  if (order == JobOrder::kFair) {
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [](const JobRun* a, const JobRun* b) {
+                       return a->reduces_running() < b->reduces_running();
+                     });
+  } else if (order == JobOrder::kWeightedFair) {
+    std::stable_sort(
+        jobs.begin(), jobs.end(), [](const JobRun* a, const JobRun* b) {
+          return double(a->reduces_running()) / a->spec().weight <
+                 double(b->reduces_running()) / b->spec().weight;
+        });
+  }
+  return jobs;
+}
+
+}  // namespace mrs::mapreduce

@@ -1,0 +1,72 @@
+// Immutable measurement records the engine emits as tasks and jobs finish.
+// The metrics module aggregates these into the paper's figures and tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mrs/common/ids.hpp"
+#include "mrs/common/units.hpp"
+#include "mrs/mapreduce/job.hpp"
+
+namespace mrs::mapreduce {
+
+struct TaskRecord {
+  JobId job;
+  JobKind kind = JobKind::kCustom;
+  bool is_map = true;
+  std::size_t index = 0;  ///< task index within the job
+  NodeId node;
+  Locality locality = Locality::kRemote;
+  Seconds assigned_at = 0.0;
+  Seconds finished_at = 0.0;
+  /// Model transmission cost of the placement (bytes x distance, Eq. 1/2
+  /// with ground-truth I for reduces).
+  double placement_cost = 0.0;
+  /// Bytes that actually crossed the network for this task.
+  Bytes network_bytes = 0.0;
+  /// Attempts launched for the task (>1 after speculation or a failure).
+  std::size_t attempts = 1;
+
+  [[nodiscard]] Seconds running_time() const {
+    return finished_at - assigned_at;
+  }
+};
+
+struct JobRecord {
+  JobId id;
+  std::string name;
+  JobKind kind = JobKind::kCustom;
+  std::size_t map_count = 0;
+  std::size_t reduce_count = 0;
+  Bytes input_bytes = 0.0;
+  Bytes shuffle_bytes = 0.0;  ///< total ground-truth intermediate data
+  Seconds submit_time = 0.0;
+  Seconds finish_time = 0.0;
+
+  [[nodiscard]] Seconds completion_time() const {
+    return finish_time - submit_time;
+  }
+};
+
+/// Time-weighted slot occupancy accumulated over the run.
+struct UtilizationSummary {
+  double map_slot_seconds_busy = 0.0;
+  double reduce_slot_seconds_busy = 0.0;
+  Seconds span = 0.0;  ///< first submit .. last completion
+  std::size_t total_map_slots = 0;
+  std::size_t total_reduce_slots = 0;
+
+  [[nodiscard]] double map_utilization() const {
+    const double cap =
+        span * static_cast<double>(total_map_slots);
+    return cap > 0.0 ? map_slot_seconds_busy / cap : 0.0;
+  }
+  [[nodiscard]] double reduce_utilization() const {
+    const double cap =
+        span * static_cast<double>(total_reduce_slots);
+    return cap > 0.0 ? reduce_slot_seconds_busy / cap : 0.0;
+  }
+};
+
+}  // namespace mrs::mapreduce

@@ -1,0 +1,27 @@
+// Task-level scheduler interface (Sec. II-A).
+//
+// The engine invokes the scheduler once per heartbeat from a node; the
+// scheduler inspects cluster/job state through the Engine facade and calls
+// Engine::assign_map / assign_reduce for each placement it commits. Leaving
+// slots unassigned is a valid decision (delay scheduling, probability
+// skips) — the node simply heartbeats again one interval later.
+#pragma once
+
+#include "mrs/common/ids.hpp"
+
+namespace mrs::mapreduce {
+
+class Engine;
+
+class TaskScheduler {
+ public:
+  virtual ~TaskScheduler() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// A heartbeat from `node` arrived; `node` may have free map and/or
+  /// reduce slots. Called only while at least one job is active.
+  virtual void on_heartbeat(Engine& engine, NodeId node) = 0;
+};
+
+}  // namespace mrs::mapreduce

@@ -1,0 +1,155 @@
+#include "mrs/metrics/summary.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "mrs/common/check.hpp"
+
+namespace mrs::metrics {
+
+namespace {
+
+bool matches(const TaskRecord& t, TaskFilter filter) {
+  switch (filter) {
+    case TaskFilter::kAll: return true;
+    case TaskFilter::kMapsOnly: return t.is_map;
+    case TaskFilter::kReducesOnly: return !t.is_map;
+  }
+  return false;
+}
+
+}  // namespace
+
+LocalitySummary locality_summary(std::span<const TaskRecord> tasks,
+                                 TaskFilter filter) {
+  LocalitySummary s;
+  std::size_t node_local = 0, rack_local = 0, remote = 0;
+  for (const auto& t : tasks) {
+    if (!matches(t, filter)) continue;
+    ++s.total;
+    switch (t.locality) {
+      case Locality::kNodeLocal: ++node_local; break;
+      case Locality::kRackLocal: ++rack_local; break;
+      case Locality::kRemote: ++remote; break;
+    }
+  }
+  if (s.total > 0) {
+    const double n = static_cast<double>(s.total);
+    s.node_local_pct = 100.0 * static_cast<double>(node_local) / n;
+    s.rack_local_pct = 100.0 * static_cast<double>(rack_local) / n;
+    s.remote_pct = 100.0 * static_cast<double>(remote) / n;
+  }
+  return s;
+}
+
+Cdf job_completion_cdf(std::span<const JobRecord> jobs) {
+  Cdf cdf;
+  for (const auto& j : jobs) cdf.add(j.completion_time());
+  return cdf;
+}
+
+Cdf task_time_cdf(std::span<const TaskRecord> tasks, TaskFilter filter) {
+  Cdf cdf;
+  for (const auto& t : tasks) {
+    if (matches(t, filter)) cdf.add(t.running_time());
+  }
+  return cdf;
+}
+
+ReductionStats completion_reduction(std::span<const JobRecord> ours,
+                                    std::span<const JobRecord> baseline) {
+  std::unordered_map<std::string, double> base_time;
+  for (const auto& j : baseline) base_time[j.name] = j.completion_time();
+
+  ReductionStats stats;
+  RunningStats mean;
+  for (const auto& j : ours) {
+    const auto it = base_time.find(j.name);
+    if (it == base_time.end() || it->second <= 0.0) continue;
+    const double reduction =
+        (it->second - j.completion_time()) / it->second;
+    stats.cdf.add(reduction);
+    mean.add(reduction);
+    ++stats.pairs;
+  }
+  stats.mean = mean.mean();
+  return stats;
+}
+
+std::vector<JobLocality> per_job_map_locality(
+    std::span<const JobRecord> jobs, std::span<const TaskRecord> tasks) {
+  std::unordered_map<std::size_t, std::pair<std::size_t, std::size_t>>
+      counts;  // job id -> (local maps, total maps)
+  for (const auto& t : tasks) {
+    if (!t.is_map) continue;
+    auto& [local, total] = counts[t.job.value()];
+    ++total;
+    if (t.locality == Locality::kNodeLocal) ++local;
+  }
+  std::vector<JobLocality> out;
+  out.reserve(jobs.size());
+  for (const auto& j : jobs) {
+    JobLocality jl;
+    jl.job = &j;
+    const auto it = counts.find(j.id.value());
+    if (it != counts.end() && it->second.second > 0) {
+      jl.map_local_fraction =
+          static_cast<double>(it->second.first) /
+          static_cast<double>(it->second.second);
+    }
+    out.push_back(jl);
+  }
+  return out;
+}
+
+double mean_placement_cost(std::span<const TaskRecord> tasks,
+                           TaskFilter filter) {
+  RunningStats s;
+  for (const auto& t : tasks) {
+    if (matches(t, filter)) s.add(t.placement_cost);
+  }
+  return s.mean();
+}
+
+std::vector<TimelinePoint> running_tasks_timeline(
+    std::span<const TaskRecord> tasks, TaskFilter filter, Seconds step) {
+  MRS_REQUIRE(step > 0.0);
+  Seconds end = 0.0;
+  for (const auto& t : tasks) {
+    if (matches(t, filter)) end = std::max(end, t.finished_at);
+  }
+  std::vector<TimelinePoint> timeline;
+  if (end <= 0.0) return timeline;
+  // Event-sweep: +1 at assignment, -1 at completion, sampled on the grid.
+  std::vector<std::pair<Seconds, int>> deltas;
+  for (const auto& t : tasks) {
+    if (!matches(t, filter)) continue;
+    deltas.emplace_back(t.assigned_at, +1);
+    deltas.emplace_back(t.finished_at, -1);
+  }
+  std::sort(deltas.begin(), deltas.end());
+  std::size_t i = 0;
+  long running = 0;
+  for (Seconds t = 0.0; t <= end + step; t += step) {
+    while (i < deltas.size() && deltas[i].first <= t) {
+      running += deltas[i].second;
+      ++i;
+    }
+    timeline.push_back({t, static_cast<std::size_t>(std::max(0l, running))});
+  }
+  return timeline;
+}
+
+TimelineSummary summarize_timeline(std::span<const TimelinePoint> timeline) {
+  TimelineSummary s;
+  if (timeline.empty()) return s;
+  double sum = 0.0;
+  for (const auto& p : timeline) {
+    sum += static_cast<double>(p.running);
+    s.peak_running = std::max(s.peak_running, p.running);
+  }
+  s.mean_running = sum / static_cast<double>(timeline.size());
+  return s;
+}
+
+}  // namespace mrs::metrics

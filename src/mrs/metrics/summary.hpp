@@ -1,0 +1,84 @@
+// Aggregation of engine records into the paper's evaluation metrics:
+// job-completion-time CDFs (Fig. 4), per-job reductions (Fig. 5), task
+// running-time CDFs (Fig. 6), locality breakdowns (Table III, Fig. 7).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mrs/common/stats.hpp"
+#include "mrs/mapreduce/records.hpp"
+
+namespace mrs::metrics {
+
+using mapreduce::JobRecord;
+using mapreduce::Locality;
+using mapreduce::TaskRecord;
+
+/// Percentage split of task localities (Table III rows).
+struct LocalitySummary {
+  std::size_t total = 0;
+  double node_local_pct = 0.0;
+  double rack_local_pct = 0.0;
+  double remote_pct = 0.0;
+};
+
+enum class TaskFilter { kAll, kMapsOnly, kReducesOnly };
+
+[[nodiscard]] LocalitySummary locality_summary(
+    std::span<const TaskRecord> tasks, TaskFilter filter = TaskFilter::kAll);
+
+/// CDF of job completion times (Fig. 4).
+[[nodiscard]] Cdf job_completion_cdf(std::span<const JobRecord> jobs);
+
+/// CDF of task running times (Fig. 6a / 6b).
+[[nodiscard]] Cdf task_time_cdf(std::span<const TaskRecord> tasks,
+                                TaskFilter filter);
+
+/// Per-job completion-time reduction of `ours` vs `baseline`
+/// ((baseline - ours) / baseline, Fig. 5), pairing jobs by name.
+/// Jobs present in only one of the runs are ignored.
+struct ReductionStats {
+  Cdf cdf;             ///< distribution of per-job reductions
+  double mean = 0.0;   ///< average reduction across paired jobs
+  std::size_t pairs = 0;
+};
+[[nodiscard]] ReductionStats completion_reduction(
+    std::span<const JobRecord> ours, std::span<const JobRecord> baseline);
+
+/// Fraction of node-local map tasks per job (joined on JobId), for Fig. 7's
+/// per-input-size series. Returns (job record, local fraction) pairs in job
+/// order.
+struct JobLocality {
+  const JobRecord* job = nullptr;
+  double map_local_fraction = 0.0;
+};
+[[nodiscard]] std::vector<JobLocality> per_job_map_locality(
+    std::span<const JobRecord> jobs, std::span<const TaskRecord> tasks);
+
+/// Mean placement cost per task (the model cost the schedulers optimise),
+/// a direct ablation metric.
+[[nodiscard]] double mean_placement_cost(std::span<const TaskRecord> tasks,
+                                         TaskFilter filter);
+
+/// Number of tasks running at time t, sampled on a fixed grid — the
+/// "running map tasks over time" view the paper's introduction uses to
+/// argue that delay scheduling under-utilizes the cluster.
+struct TimelinePoint {
+  Seconds time = 0.0;
+  std::size_t running = 0;
+};
+[[nodiscard]] std::vector<TimelinePoint> running_tasks_timeline(
+    std::span<const TaskRecord> tasks, TaskFilter filter, Seconds step);
+
+/// Mean and peak of a timeline (summary for tables).
+struct TimelineSummary {
+  double mean_running = 0.0;
+  std::size_t peak_running = 0;
+};
+[[nodiscard]] TimelineSummary summarize_timeline(
+    std::span<const TimelinePoint> timeline);
+
+}  // namespace mrs::metrics

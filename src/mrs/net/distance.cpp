@@ -1,0 +1,80 @@
+#include "mrs/net/distance.hpp"
+
+#include <limits>
+
+namespace mrs::net {
+
+DistanceMatrix::DistanceMatrix(std::size_t nodes, double fill)
+    : nodes_(nodes), values_(nodes * nodes, fill) {}
+
+DistanceMatrix DistanceMatrix::from_hops(const Topology& topo) {
+  const std::size_t n = topo.host_count();
+  DistanceMatrix m(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      m.set(NodeId(a), NodeId(b),
+            static_cast<double>(topo.hops(NodeId(a), NodeId(b))));
+    }
+  }
+  return m;
+}
+
+DistanceMatrix DistanceMatrix::from_inverse_rates(
+    const LinkConditionModel& cond) {
+  const std::size_t n = cond.topology().host_count();
+  DistanceMatrix m(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      m.set(NodeId(a), NodeId(b),
+            cond.inverse_rate_distance(NodeId(a), NodeId(b)));
+    }
+  }
+  return m;
+}
+
+DistanceMatrix DistanceMatrix::from_weighted_paths(
+    const LinkConditionModel& cond) {
+  const std::size_t n = cond.topology().host_count();
+  DistanceMatrix m(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      m.set(NodeId(a), NodeId(b),
+            cond.weighted_path_distance(NodeId(a), NodeId(b)));
+    }
+  }
+  return m;
+}
+
+LoadAwareDistanceProvider::LoadAwareDistanceProvider(
+    const Topology* topo, const FlowModel* flows, LinkConditionModel* cond)
+    : topo_(topo), flows_(flows), cond_(cond) {
+  MRS_REQUIRE(topo_ != nullptr && flows_ != nullptr);
+  reference_rate_ = std::numeric_limits<double>::max();
+  for (std::size_t l = 0; l < topo_->link_count(); ++l) {
+    const Link& link = topo_->link(LinkId(l));
+    const bool host_link = topo_->vertex(link.a).kind == VertexKind::kHost ||
+                           topo_->vertex(link.b).kind == VertexKind::kHost;
+    if (host_link) reference_rate_ = std::min(reference_rate_, link.capacity);
+  }
+  if (reference_rate_ == std::numeric_limits<double>::max()) {
+    reference_rate_ = units::Gbps(1);
+  }
+}
+
+double LoadAwareDistanceProvider::distance(NodeId a, NodeId b,
+                                           Seconds now) const {
+  if (a == b) return 0.0;
+  if (cond_ != nullptr) cond_->advance_to(now);
+  double cost = 0.0;
+  for (const DirectedLink& dl : topo_->path(a, b)) {
+    const BytesPerSec cap = cond_ != nullptr
+                                ? cond_->effective_capacity(dl)
+                                : topo_->link(dl.link).capacity;
+    const double sharers =
+        static_cast<double>(flows_->flows_on(dl.directed_index()) + 1);
+    cost += reference_rate_ * sharers / cap;
+  }
+  return cost;
+}
+
+}  // namespace mrs::net

@@ -1,0 +1,215 @@
+#include "mrs/net/flow.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mrs::net {
+
+namespace {
+// A flow is complete when fewer than this many bytes remain; guards against
+// floating-point residue after rate integration.
+constexpr Bytes kCompletionEpsilon = 1e-3;
+constexpr std::size_t kNoPos = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+FlowModel::FlowModel(const Topology* topo, const LinkConditionModel* cond)
+    : topo_(topo), cond_(cond) {
+  MRS_REQUIRE(topo_ != nullptr);
+  link_flow_count_.assign(topo_->link_count() * 2, 0);
+}
+
+BytesPerSec FlowModel::capacity_of(std::size_t directed_index) const {
+  const LinkId link(directed_index / 2);
+  if (cond_ != nullptr) {
+    return cond_->effective_capacity(
+        DirectedLink{link, (directed_index % 2) != 0});
+  }
+  return topo_->link(link).capacity;
+}
+
+void FlowModel::deactivate(std::size_t index) {
+  FlowInfo& f = flows_[index];
+  MRS_ASSERT(f.active);
+  f.active = false;
+  f.rate = 0.0;
+  // Swap-remove from the active list so per-event work is O(active flows).
+  const std::size_t pos = active_pos_[index];
+  MRS_ASSERT(pos != kNoPos);
+  const std::size_t last = active_list_.back();
+  active_list_[pos] = last;
+  active_pos_[last] = pos;
+  active_list_.pop_back();
+  active_pos_[index] = kNoPos;
+  for (const DirectedLink& dl : paths_[index]) {
+    MRS_ASSERT(link_flow_count_[dl.directed_index()] > 0);
+    --link_flow_count_[dl.directed_index()];
+  }
+}
+
+FlowId FlowModel::start(NodeId src, NodeId dst, Bytes size, Seconds now,
+                        BytesPerSec rate_cap) {
+  MRS_REQUIRE(src != dst);
+  MRS_REQUIRE(size > 0.0);
+  MRS_REQUIRE(rate_cap > 0.0);
+  advance_to(now);
+  const FlowId id(flows_.size());
+  flows_.push_back({src, dst, size, size, now, 0.0, rate_cap, true});
+  paths_.push_back(topo_->path(src, dst));
+  MRS_ASSERT(!paths_.back().empty());
+  active_pos_.push_back(active_list_.size());
+  active_list_.push_back(id.value());
+  for (const DirectedLink& dl : paths_.back()) {
+    ++link_flow_count_[dl.directed_index()];
+  }
+  recompute_rates();
+  return id;
+}
+
+void FlowModel::cancel(FlowId id, Seconds now) {
+  advance_to(now);
+  FlowInfo& f = flows_.at(id.value());
+  if (!f.active) return;
+  deactivate(id.value());
+  recompute_rates();
+}
+
+void FlowModel::advance_to(Seconds t) {
+  MRS_REQUIRE(t >= now_ - 1e-9);
+  const Seconds dt = std::max(0.0, t - now_);
+  now_ = std::max(now_, t);
+  if (dt <= 0.0 || active_list_.empty()) return;
+  bool completed_any = false;
+  for (std::size_t pos = 0; pos < active_list_.size(); /* in body */) {
+    const std::size_t i = active_list_[pos];
+    FlowInfo& f = flows_[i];
+    f.remaining -= f.rate * dt;
+    if (f.remaining <= kCompletionEpsilon) {
+      f.remaining = 0.0;
+      bytes_delivered_ += f.total;
+      newly_completed_.push_back(FlowId(i));
+      deactivate(i);  // swap-remove: do not advance pos
+      completed_any = true;
+    } else {
+      ++pos;
+    }
+  }
+  if (completed_any) recompute_rates();
+}
+
+std::optional<std::pair<Seconds, FlowId>> FlowModel::next_completion() const {
+  std::optional<std::pair<Seconds, FlowId>> best;
+  for (std::size_t i : active_list_) {
+    const FlowInfo& f = flows_[i];
+    MRS_ASSERT(f.rate > 0.0);  // every active flow gets a positive share
+    const Seconds eta = now_ + f.remaining / f.rate;
+    if (!best || eta < best->first) best = {eta, FlowId(i)};
+  }
+  return best;
+}
+
+std::vector<FlowId> FlowModel::collect_completed() {
+  return std::exchange(newly_completed_, {});
+}
+
+const FlowInfo& FlowModel::info(FlowId id) const {
+  return flows_.at(id.value());
+}
+
+BytesPerSec FlowModel::directed_link_load(std::size_t directed_index) const {
+  BytesPerSec load = 0.0;
+  for (std::size_t i : active_list_) {
+    for (const DirectedLink& dl : paths_[i]) {
+      if (dl.directed_index() == directed_index) {
+        load += flows_[i].rate;
+        break;
+      }
+    }
+  }
+  return load;
+}
+
+void FlowModel::recompute_rates() {
+  // Progressive-filling max-min fairness over the active flows. Each
+  // directed link tracks its remaining capacity and the number of
+  // not-yet-frozen flows crossing it; each round freezes the flows on the
+  // most constrained link at that link's equal share.
+  if (active_list_.empty()) return;
+  const std::size_t directed_links = topo_->link_count() * 2;
+
+  // Scratch buffers are reused across calls to avoid per-event allocation.
+  scratch_cap_.assign(directed_links, 0.0);
+  scratch_count_.assign(directed_links, 0);
+  for (std::size_t d = 0; d < directed_links; ++d) {
+    scratch_cap_[d] = capacity_of(d);
+  }
+  for (std::size_t i : active_list_) {
+    for (const DirectedLink& dl : paths_[i]) {
+      ++scratch_count_[dl.directed_index()];
+    }
+  }
+
+  scratch_frozen_.assign(active_list_.size(), false);
+  std::size_t left = active_list_.size();
+
+  auto freeze = [&](std::size_t pos, double rate) {
+    const std::size_t i = active_list_[pos];
+    scratch_frozen_[pos] = true;
+    // Floor at 1 B/s so numerical corner cases can never stall a flow
+    // (and next_completion's positive-rate invariant holds).
+    flows_[i].rate = std::max(rate, 1.0);
+    --left;
+    for (const DirectedLink& dl : paths_[i]) {
+      const std::size_t d = dl.directed_index();
+      scratch_cap_[d] = std::max(0.0, scratch_cap_[d] - rate);
+      --scratch_count_[d];
+    }
+  };
+
+  while (left > 0) {
+    // Find the bottleneck: the link with the smallest equal share.
+    double best_share = std::numeric_limits<double>::max();
+    std::size_t best_link = directed_links;
+    for (std::size_t d = 0; d < directed_links; ++d) {
+      if (scratch_count_[d] == 0) continue;
+      const double share =
+          scratch_cap_[d] / static_cast<double>(scratch_count_[d]);
+      if (share < best_share) {
+        best_share = share;
+        best_link = d;
+      }
+    }
+    MRS_ASSERT(best_link < directed_links);
+    best_share = std::max(best_share, 0.0);
+
+    // Application-limited flows whose cap is below the current fair share
+    // freeze at their cap first (they can't use a full share; the surplus
+    // goes back into the pool for network-limited flows).
+    bool any_capped = false;
+    for (std::size_t pos = 0; pos < active_list_.size(); ++pos) {
+      if (scratch_frozen_[pos]) continue;
+      const FlowInfo& f = flows_[active_list_[pos]];
+      if (f.rate_cap <= best_share) {
+        freeze(pos, f.rate_cap);
+        any_capped = true;
+      }
+    }
+    if (any_capped) continue;  // shares changed; re-derive the bottleneck
+
+    // Freeze every unfrozen flow crossing the bottleneck at that share.
+    for (std::size_t pos = 0; pos < active_list_.size(); ++pos) {
+      if (scratch_frozen_[pos]) continue;
+      const std::size_t i = active_list_[pos];
+      bool on_bottleneck = false;
+      for (const DirectedLink& dl : paths_[i]) {
+        if (dl.directed_index() == best_link) {
+          on_bottleneck = true;
+          break;
+        }
+      }
+      if (!on_bottleneck) continue;
+      freeze(pos, std::min(best_share, flows_[i].rate_cap));
+    }
+  }
+}
+
+}  // namespace mrs::net

@@ -1,0 +1,115 @@
+// Flow-level network simulation with max-min fair bandwidth sharing.
+//
+// Every remote data transfer in the simulator (map input fetch, shuffle
+// segment) is a flow along the unique route between two hosts. Active flows
+// sharing a link split its effective capacity max-min fairly (progressive
+// filling), the standard flow-level approximation of TCP behaviour. Rates
+// are piecewise constant between "rate events" (flow arrival/departure or a
+// background-traffic resample); the discrete-event engine advances the model
+// between events and asks for the next completion time.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "mrs/common/ids.hpp"
+#include "mrs/common/units.hpp"
+#include "mrs/net/link_condition.hpp"
+#include "mrs/net/topology.hpp"
+
+namespace mrs::net {
+
+struct FlowInfo {
+  NodeId src;
+  NodeId dst;
+  Bytes total = 0.0;
+  Bytes remaining = 0.0;
+  Seconds start_time = 0.0;
+  BytesPerSec rate = 0.0;  ///< current max-min allocation
+  /// Application-limited ceiling (e.g. a map task streaming its input no
+  /// faster than it can process it). +inf = network-limited.
+  BytesPerSec rate_cap = 0.0;
+  bool active = false;
+};
+
+class FlowModel {
+ public:
+  /// `cond` may be null: links then run at nominal capacity.
+  FlowModel(const Topology* topo, const LinkConditionModel* cond = nullptr);
+
+  /// Start a transfer of `size` bytes from `src` to `dst` at time `now`.
+  /// Requires src != dst (local reads are not network flows) and size > 0.
+  /// `rate_cap`, when finite, bounds the flow's share (application-limited
+  /// sender/receiver). Triggers a rate recomputation.
+  FlowId start(NodeId src, NodeId dst, Bytes size, Seconds now,
+               BytesPerSec rate_cap =
+                   std::numeric_limits<BytesPerSec>::infinity());
+
+  /// Abort an active flow. Triggers a rate recomputation.
+  void cancel(FlowId id, Seconds now);
+
+  /// Move every active flow forward to time `t` at its current rate.
+  /// `t` must not be before the last update.
+  void advance_to(Seconds t);
+
+  /// Earliest (time, flow) completion under current rates, if any flow is
+  /// active.
+  [[nodiscard]] std::optional<std::pair<Seconds, FlowId>> next_completion()
+      const;
+
+  /// Flows whose remaining bytes reached zero since the last collect; each
+  /// is returned exactly once and deactivated. Triggers a rate
+  /// recomputation when any flow completed.
+  std::vector<FlowId> collect_completed();
+
+  /// Re-run max-min fair sharing. Called automatically on start/cancel/
+  /// completion; call manually after the LinkConditionModel resamples.
+  void recompute_rates();
+
+  [[nodiscard]] const FlowInfo& info(FlowId id) const;
+  [[nodiscard]] std::size_t active_count() const {
+    return active_list_.size();
+  }
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Sum of current flow rates crossing a directed link (for tests and
+  /// utilization metrics).
+  [[nodiscard]] BytesPerSec directed_link_load(std::size_t directed_index)
+      const;
+
+  /// Number of active flows crossing a directed link (maintained
+  /// incrementally; O(1)). This is what a link monitor / path probe sees.
+  [[nodiscard]] std::size_t flows_on(std::size_t directed_index) const {
+    return directed_index < link_flow_count_.size()
+               ? link_flow_count_[directed_index]
+               : 0;
+  }
+
+  /// Total bytes delivered by completed flows so far.
+  [[nodiscard]] Bytes bytes_delivered() const { return bytes_delivered_; }
+
+ private:
+  [[nodiscard]] BytesPerSec capacity_of(std::size_t directed_index) const;
+  /// Mark flow `index` inactive and swap-remove it from the active list.
+  void deactivate(std::size_t index);
+
+  const Topology* topo_;
+  const LinkConditionModel* cond_;
+  std::vector<FlowInfo> flows_;
+  std::vector<std::vector<DirectedLink>> paths_;  ///< per flow
+  std::vector<FlowId> newly_completed_;
+  // Active-flow index: per-event work is O(active), not O(ever created).
+  std::vector<std::size_t> active_list_;
+  std::vector<std::size_t> active_pos_;  ///< flow index -> slot in list
+  std::vector<std::size_t> link_flow_count_;  ///< active flows per dir link
+  Seconds now_ = 0.0;
+  Bytes bytes_delivered_ = 0.0;
+  // Reusable scratch for recompute_rates (no per-event allocation).
+  std::vector<BytesPerSec> scratch_cap_;
+  std::vector<std::size_t> scratch_count_;
+  std::vector<char> scratch_frozen_;
+};
+
+}  // namespace mrs::net

@@ -1,0 +1,105 @@
+#include "mrs/net/link_condition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mrs::net {
+
+namespace {
+constexpr double kMaxUtilization = 0.95;
+}  // namespace
+
+LinkConditionModel::LinkConditionModel(const Topology* topo,
+                                       BackgroundTrafficConfig cfg, Rng rng)
+    : topo_(topo),
+      cfg_(cfg),
+      rng_(std::move(rng)),
+      utilization_(topo->link_count() * 2, 0.0) {
+  MRS_REQUIRE(topo_ != nullptr);
+  MRS_REQUIRE(cfg_.mean_utilization >= 0.0 && cfg_.mean_utilization < 1.0);
+  MRS_REQUIRE(cfg_.resample_interval > 0.0);
+
+  reference_rate_ = std::numeric_limits<double>::max();
+  for (std::size_t l = 0; l < topo_->link_count(); ++l) {
+    const Link& link = topo_->link(LinkId(l));
+    const bool host_link =
+        topo_->vertex(link.a).kind == VertexKind::kHost ||
+        topo_->vertex(link.b).kind == VertexKind::kHost;
+    if (host_link) reference_rate_ = std::min(reference_rate_, link.capacity);
+  }
+  if (reference_rate_ == std::numeric_limits<double>::max()) {
+    reference_rate_ = units::Gbps(1);
+  }
+  resample();
+  next_resample_ = cfg_.resample_interval;
+}
+
+void LinkConditionModel::advance_to(Seconds t) {
+  while (t >= next_resample_) {
+    now_ = next_resample_;
+    next_resample_ += cfg_.resample_interval;
+    resample();
+  }
+  now_ = std::max(now_, t);
+}
+
+void LinkConditionModel::resample() {
+  ++epoch_;
+  for (std::size_t l = 0; l < topo_->link_count(); ++l) {
+    const Link& link = topo_->link(LinkId(l));
+    const bool host_link =
+        topo_->vertex(link.a).kind == VertexKind::kHost ||
+        topo_->vertex(link.b).kind == VertexKind::kHost;
+    for (std::size_t dir = 0; dir < 2; ++dir) {
+      double u = 0.0;
+      if (!(cfg_.uplinks_only && host_link)) {
+        u = cfg_.mean_utilization > 0.0
+                ? rng_.uniform(0.0, 2.0 * cfg_.mean_utilization)
+                : 0.0;
+        if (cfg_.burst_probability > 0.0 &&
+            rng_.bernoulli(cfg_.burst_probability)) {
+          u += cfg_.burst_utilization;
+        }
+      }
+      utilization_[2 * l + dir] = std::clamp(u, 0.0, kMaxUtilization);
+    }
+  }
+}
+
+BytesPerSec LinkConditionModel::effective_capacity(DirectedLink dl) const {
+  const Link& link = topo_->link(dl.link);
+  const double u = utilization_[dl.directed_index()];
+  return link.capacity * (1.0 - u);
+}
+
+BytesPerSec LinkConditionModel::path_rate(NodeId src, NodeId dst) const {
+  if (src == dst) return std::numeric_limits<double>::infinity();
+  BytesPerSec rate = std::numeric_limits<double>::max();
+  for (const DirectedLink& dl : topo_->path(src, dst)) {
+    rate = std::min(rate, effective_capacity(dl));
+  }
+  return rate;
+}
+
+double LinkConditionModel::inverse_rate_distance(NodeId src, NodeId dst) const {
+  if (src == dst) return 0.0;
+  const BytesPerSec rate = path_rate(src, dst);
+  MRS_ASSERT(rate > 0.0);
+  // Normalize: an uncongested two-hop rack-local path (bottleneck =
+  // reference host link) costs 2.0, matching the hop count it replaces.
+  return 2.0 * reference_rate_ / rate;
+}
+
+double LinkConditionModel::weighted_path_distance(NodeId src,
+                                                  NodeId dst) const {
+  if (src == dst) return 0.0;
+  double cost = 0.0;
+  for (const DirectedLink& dl : topo_->path(src, dst)) {
+    const BytesPerSec cap = effective_capacity(dl);
+    MRS_ASSERT(cap > 0.0);
+    cost += reference_rate_ / cap;
+  }
+  return cost;
+}
+
+}  // namespace mrs::net

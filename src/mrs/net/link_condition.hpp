@@ -1,0 +1,87 @@
+// Link condition monitoring (Sec. II-B-3 of the paper).
+//
+// The paper proposes replacing each hop-count entry h_ab of the distance
+// matrix H with the inverse of the measured transmission rate of the a->b
+// path, so that congested paths look "longer". This module models the
+// cluster-side link monitor: per-link background utilization (cross traffic
+// from other tenants) that evolves over time, plus path-rate queries that a
+// scheduler can consume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mrs/common/ids.hpp"
+#include "mrs/common/rng.hpp"
+#include "mrs/common/units.hpp"
+#include "mrs/net/topology.hpp"
+
+namespace mrs::net {
+
+/// Configuration of the synthetic background-traffic process.
+struct BackgroundTrafficConfig {
+  double mean_utilization = 0.0;  ///< average fraction of capacity consumed
+  double burst_utilization = 0.0; ///< extra utilization during a burst
+  double burst_probability = 0.0; ///< chance a link is bursting per interval
+  Seconds resample_interval = 30.0;
+  /// Restrict congestion to uplinks (host links stay clean), mimicking
+  /// shared-core contention which is the common case in practice.
+  bool uplinks_only = true;
+};
+
+/// Tracks per-directed-link background utilization over time and answers
+/// effective-capacity and path-rate queries.
+///
+/// Deterministic: all randomness comes from the Rng supplied at
+/// construction; `advance_to` resamples utilizations on a fixed grid.
+class LinkConditionModel {
+ public:
+  LinkConditionModel(const Topology* topo, BackgroundTrafficConfig cfg,
+                     Rng rng);
+
+  /// Advance the background process to simulation time `t` (idempotent for
+  /// equal or earlier times).
+  void advance_to(Seconds t);
+
+  /// Capacity left for foreground traffic on a directed link at the current
+  /// time. Never below 5% of nominal (links don't fully starve).
+  [[nodiscard]] BytesPerSec effective_capacity(DirectedLink dl) const;
+
+  /// Uncongested-equivalent transmission rate of the src->dst path: the
+  /// minimum effective capacity along the route. Returns +inf for src==dst.
+  [[nodiscard]] BytesPerSec path_rate(NodeId src, NodeId dst) const;
+
+  /// The paper's "inverse of the transmission rate" distance, normalized so
+  /// that an uncongested host->ToR->host path costs exactly 2.0 (the hop
+  /// count it replaces): cost = hops-equivalent congestion-scaled length.
+  /// Uses the bottleneck (minimum) rate of the path, as the paper states.
+  [[nodiscard]] double inverse_rate_distance(NodeId src, NodeId dst) const;
+
+  /// Per-link variant: sums the inverse effective rate of every link on the
+  /// path (each uncongested reference-speed hop costs 1.0). Unlike the
+  /// bottleneck form this keeps hop-count sensitivity, so two uncongested
+  /// paths of different length still rank correctly.
+  [[nodiscard]] double weighted_path_distance(NodeId src, NodeId dst) const;
+
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+  [[nodiscard]] double utilization(std::size_t directed_index) const {
+    return utilization_.at(directed_index);
+  }
+  /// Number of resamples so far; consumers may cache derived matrices per
+  /// epoch.
+  [[nodiscard]] std::uint64_t resample_epoch() const { return epoch_; }
+
+ private:
+  void resample();
+
+  const Topology* topo_;
+  BackgroundTrafficConfig cfg_;
+  Rng rng_;
+  Seconds now_ = 0.0;
+  Seconds next_resample_ = 0.0;
+  std::vector<double> utilization_;  ///< per directed link, in [0, 0.95]
+  std::uint64_t epoch_ = 0;
+  double reference_rate_;            ///< min host-link capacity (for scaling)
+};
+
+}  // namespace mrs::net

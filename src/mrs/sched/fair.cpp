@@ -1,0 +1,77 @@
+#include "mrs/sched/fair.hpp"
+
+#include "mrs/mapreduce/job_policy.hpp"
+
+namespace mrs::sched {
+
+using mapreduce::Engine;
+using mapreduce::JobOrder;
+using mapreduce::jobs_for_maps;
+using mapreduce::jobs_for_reduces;
+using mapreduce::JobRun;
+using mapreduce::Locality;
+
+void FairScheduler::on_heartbeat(Engine& engine, NodeId node) {
+  while (engine.map_budget_left() > 0 &&
+         engine.cluster().node(node).free_map_slots() > 0) {
+    if (!try_map(engine, node)) break;
+  }
+  while (engine.reduce_budget_left() > 0 &&
+         engine.cluster().node(node).free_reduce_slots() > 0) {
+    if (!try_reduce(engine, node)) break;
+  }
+}
+
+bool FairScheduler::try_map(Engine& engine, NodeId node) {
+  const Seconds now = engine.now();
+  for (JobRun* job : jobs_for_maps(engine, JobOrder::kFair)) {
+    DelayState& ds = delay_[job->id().value()];
+
+    // Best locality rank this node can offer the job.
+    int best_rank = 0;
+    std::size_t best_task = job->next_local_map(node);
+    if (best_task == job->map_count()) {
+      best_rank = 1;
+      best_task = job->next_rack_map(engine.topology().rack_of(node));
+    }
+    if (best_task == job->map_count()) {
+      best_rank = 2;
+      best_task = job->next_any_map();
+    }
+    if (best_task == job->map_count()) continue;
+
+    if (best_rank <= ds.level) {
+      engine.assign_map(*job, best_task, node);
+      if (best_rank == 0) {
+        // Launching locally resets the job's delay state (Delay
+        // Scheduling's "reset wait when a local task launches").
+        ds.level = 0;
+        ds.wait_start = -1.0;
+      }
+      return true;
+    }
+
+    // Skip: the node can't serve the job at its current locality level.
+    if (ds.wait_start < 0.0) ds.wait_start = now;
+    const Seconds threshold =
+        ds.level == 0 ? cfg_.node_local_delay : cfg_.rack_local_delay;
+    if (ds.level < 2 && now - ds.wait_start >= threshold) {
+      ++ds.level;
+      ds.wait_start = now;
+    }
+  }
+  return false;
+}
+
+bool FairScheduler::try_reduce(Engine& engine, NodeId node) {
+  for (JobRun* job : jobs_for_reduces(engine, JobOrder::kFair)) {
+    const auto unassigned = job->unassigned_reduces();
+    if (unassigned.empty()) continue;
+    const std::size_t pick = unassigned[rng_.index(unassigned.size())];
+    engine.assign_reduce(*job, pick, node);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mrs::sched

@@ -1,0 +1,51 @@
+// Fair Scheduler with Delay Scheduling (the paper's first baseline,
+// Hadoop 1.2.1's fair scheduler [7] + [3]).
+//
+// Jobs share slots fairly (fewest-running-first). Map tasks wait for
+// node-local slots: a job that cannot launch a node-local task on the
+// offered node is skipped; after `node_local_delay` seconds of skipping it
+// is allowed rack-local placements, and after another `rack_local_delay`
+// any placement. Reduce tasks are placed *randomly* on offered slots (the
+// paper: "randomly selects a reduce task to be assigned to an available
+// reduce slot").
+#pragma once
+
+#include <unordered_map>
+
+#include "mrs/common/rng.hpp"
+#include "mrs/mapreduce/engine.hpp"
+#include "mrs/mapreduce/scheduler.hpp"
+
+namespace mrs::sched {
+
+struct FairConfig {
+  // Hadoop 1.2.1 autodetects the locality delay as ~1.5x the average
+  // heartbeat interval (3 s) and splits it across the two levels.
+  Seconds node_local_delay = 2.25;  ///< wait before accepting rack-local
+  Seconds rack_local_delay = 2.25;  ///< further wait before accepting any
+};
+
+class FairScheduler final : public mapreduce::TaskScheduler {
+ public:
+  explicit FairScheduler(FairConfig cfg, Rng rng)
+      : cfg_(cfg), rng_(std::move(rng)) {}
+
+  [[nodiscard]] const char* name() const override { return "fair"; }
+
+  void on_heartbeat(mapreduce::Engine& engine, NodeId node) override;
+
+ private:
+  struct DelayState {
+    int level = 0;             ///< 0 node-local, 1 rack-local, 2 any
+    Seconds wait_start = -1.0; ///< first skip at the current level
+  };
+
+  bool try_map(mapreduce::Engine& engine, NodeId node);
+  bool try_reduce(mapreduce::Engine& engine, NodeId node);
+
+  FairConfig cfg_;
+  Rng rng_;
+  std::unordered_map<std::size_t, DelayState> delay_;  ///< by JobId value
+};
+
+}  // namespace mrs::sched

@@ -1,0 +1,82 @@
+#include "mrs/sched/larts.hpp"
+
+#include "mrs/mapreduce/job_policy.hpp"
+
+namespace mrs::sched {
+
+using mapreduce::Engine;
+using mapreduce::JobOrder;
+using mapreduce::JobRun;
+using mapreduce::jobs_for_maps;
+using mapreduce::jobs_for_reduces;
+
+void LartsScheduler::on_heartbeat(Engine& engine, NodeId node) {
+  while (engine.map_budget_left() > 0 &&
+         engine.cluster().node(node).free_map_slots() > 0) {
+    if (!try_map(engine, node)) break;
+  }
+  while (engine.reduce_budget_left() > 0 &&
+         engine.cluster().node(node).free_reduce_slots() > 0) {
+    if (!try_reduce(engine, node)) break;
+  }
+}
+
+bool LartsScheduler::try_map(Engine& engine, NodeId node) {
+  for (JobRun* job : jobs_for_maps(engine, JobOrder::kFair)) {
+    std::size_t pick = job->next_local_map(node);
+    if (pick == job->map_count()) {
+      pick = job->next_rack_map(engine.topology().rack_of(node));
+    }
+    if (pick == job->map_count()) pick = job->next_any_map();
+    if (pick < job->map_count()) {
+      engine.assign_map(*job, pick, node);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LartsScheduler::try_reduce(Engine& engine, NodeId node) {
+  for (JobRun* job : jobs_for_reduces(engine, JobOrder::kFair)) {
+    if (job->has_reduce_on(node)) continue;
+    const auto unassigned = job->unassigned_reduces();
+    if (unassigned.empty()) continue;
+
+    // Current (not projected) intermediate sizes: LARTS predates the
+    // paper's Eq. 3 estimation.
+    const core::IntermediateSnapshot snap(*job, engine.now(),
+                                          core::EstimatorMode::kCurrent,
+                                          engine.cluster().node_count());
+    const auto free_nodes = engine.cluster().nodes_with_free_reduce_slots();
+
+    // Among unassigned reduces, pick the one for which this node hosts the
+    // largest share; accept if that share is near the best free node's.
+    std::size_t best_task = job->reduce_count();
+    double best_here = -1.0;
+    for (std::size_t f : unassigned) {
+      const double here = snap.bytes_from(node.value(), f);
+      if (here > best_here) {
+        best_here = here;
+        best_task = f;
+      }
+    }
+    if (best_task == job->reduce_count()) continue;
+
+    double best_free = 0.0;
+    for (NodeId k : free_nodes) {
+      best_free = std::max(best_free, snap.bytes_from(k.value(), best_task));
+    }
+
+    auto& state = job->reduce_state(best_task);
+    const bool close_enough =
+        best_free <= 0.0 || best_here >= cfg_.share_tolerance * best_free;
+    if (close_enough || state.postpone_count >= cfg_.max_postpones) {
+      engine.assign_reduce(*job, best_task, node);
+      return true;
+    }
+    ++state.postpone_count;
+  }
+  return false;
+}
+
+}  // namespace mrs::sched

@@ -1,0 +1,101 @@
+#include "mrs/sched/mincost.hpp"
+
+#include <limits>
+
+#include "mrs/mapreduce/job_policy.hpp"
+
+namespace mrs::sched {
+
+using mapreduce::Engine;
+using mapreduce::JobOrder;
+using mapreduce::JobRun;
+using mapreduce::jobs_for_maps;
+using mapreduce::jobs_for_reduces;
+
+void MinCostScheduler::on_heartbeat(Engine& engine, NodeId node) {
+  while (engine.map_budget_left() > 0 &&
+         engine.cluster().node(node).free_map_slots() > 0) {
+    if (!try_map(engine, node)) break;
+  }
+  while (engine.reduce_budget_left() > 0 &&
+         engine.cluster().node(node).free_reduce_slots() > 0) {
+    if (!try_reduce(engine, node)) break;
+  }
+}
+
+bool MinCostScheduler::try_map(Engine& engine, NodeId node) {
+  for (JobRun* job : jobs_for_maps(engine, JobOrder::kFair)) {
+    // Local task: zero cost, zero regret — always optimal here.
+    const std::size_t local = job->next_local_map(node);
+    if (local < job->map_count()) {
+      engine.assign_map(*job, local, node);
+      return true;
+    }
+    const auto free_nodes = engine.cluster().nodes_with_free_map_slots();
+    double best_regret = std::numeric_limits<double>::max();
+    double best_floor = 0.0;
+    std::size_t best_task = job->map_count();
+    for (std::size_t j : job->unassigned_maps()) {
+      const double here = engine.map_cost(*job, j, node);
+      double floor = here;
+      for (NodeId k : free_nodes) {
+        floor = std::min(floor, engine.map_cost(*job, j, k));
+      }
+      const double regret = here - floor;
+      if (regret < best_regret) {
+        best_regret = regret;
+        best_floor = floor;
+        best_task = j;
+      }
+    }
+    if (best_task == job->map_count()) continue;
+    // A finite budget bounds the acceptable regret relative to the best
+    // achievable cost; with floor == 0 any positive regret is over budget.
+    if (cfg_.max_regret_ratio < 1e9 &&
+        best_regret > cfg_.max_regret_ratio * best_floor) {
+      continue;  // another free node is a much better home; leave the slot
+    }
+    engine.assign_map(*job, best_task, node);
+    return true;
+  }
+  return false;
+}
+
+bool MinCostScheduler::try_reduce(Engine& engine, NodeId node) {
+  for (JobRun* job : jobs_for_reduces(engine, JobOrder::kFair)) {
+    if (job->has_reduce_on(node)) continue;
+    const auto unassigned = job->unassigned_reduces();
+    if (unassigned.empty()) continue;
+
+    const auto free_nodes = engine.cluster().nodes_with_free_reduce_slots();
+    core::ReduceCostEvaluator eval(engine, *job,
+                                   core::EstimatorMode::kProjected,
+                                   free_nodes);
+    std::size_t self = free_nodes.size();
+    for (std::size_t c = 0; c < free_nodes.size(); ++c) {
+      if (free_nodes[c] == node) self = c;
+    }
+    MRS_ASSERT(self < free_nodes.size());
+
+    double best_regret = std::numeric_limits<double>::max();
+    std::size_t best_task = job->reduce_count();
+    for (std::size_t f : unassigned) {
+      const double here = eval.cost(self, f);
+      double floor = here;
+      for (std::size_t c = 0; c < free_nodes.size(); ++c) {
+        floor = std::min(floor, eval.cost(c, f));
+      }
+      const double regret = here - floor;
+      if (regret < best_regret) {
+        best_regret = regret;
+        best_task = f;
+      }
+    }
+    if (best_task == job->reduce_count()) continue;
+    engine.assign_reduce(*job, best_task, node);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mrs::sched

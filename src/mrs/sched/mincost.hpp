@@ -1,0 +1,41 @@
+// Quincy-inspired deterministic min-regret scheduler (Isard et al.,
+// SOSP'09 — the paper's [20], adapted to heartbeat granularity).
+//
+// Quincy solves a global min-cost matching between tasks and slots. A
+// heartbeat-driven engine only ever places onto the reporting node, so the
+// global objective degenerates to a regret rule: among the job's pending
+// tasks, place the one whose cost *here* exceeds its best achievable cost
+// anywhere by the least (regret = C_ij - min_k C_kj). Zero-regret
+// placements are exactly the min-cost matching's greedy column step.
+// Deterministic — the adversarial contrast to the paper's probabilistic
+// relaxation (cf. the probability-model ablation's "greedy").
+#pragma once
+
+#include "mrs/core/cost_model.hpp"
+#include "mrs/mapreduce/engine.hpp"
+#include "mrs/mapreduce/scheduler.hpp"
+
+namespace mrs::sched {
+
+struct MinCostConfig {
+  /// Skip the offer when even the best task's regret exceeds this fraction
+  /// of its best-anywhere cost (>= 0; large = never skip).
+  double max_regret_ratio = 1e9;
+};
+
+class MinCostScheduler final : public mapreduce::TaskScheduler {
+ public:
+  explicit MinCostScheduler(MinCostConfig cfg = {}) : cfg_(cfg) {}
+
+  [[nodiscard]] const char* name() const override { return "mincost"; }
+
+  void on_heartbeat(mapreduce::Engine& engine, NodeId node) override;
+
+ private:
+  bool try_map(mapreduce::Engine& engine, NodeId node);
+  bool try_reduce(mapreduce::Engine& engine, NodeId node);
+
+  MinCostConfig cfg_;
+};
+
+}  // namespace mrs::sched

@@ -1,0 +1,83 @@
+#include "mrs/sim/simulation.hpp"
+
+#include <utility>
+
+namespace mrs::sim {
+
+EventHandle Simulation::schedule_at(Seconds t, Callback cb) {
+  MRS_REQUIRE(t >= now_ - 1e-9);
+  MRS_REQUIRE(cb != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  callbacks_.push_back(std::move(cb));
+  queue_.push({std::max(t, now_), seq});
+  ++live_events_;
+  return EventHandle(seq);
+}
+
+Simulation::Callback* Simulation::find(std::uint64_t seq) {
+  if (seq < base_seq_) return nullptr;
+  const std::uint64_t idx = seq - base_seq_;
+  if (idx >= callbacks_.size()) return nullptr;
+  return &callbacks_[idx];
+}
+
+void Simulation::cancel(EventHandle h) {
+  if (!h.valid()) return;
+  Callback* cb = find(h.seq_);
+  if (cb != nullptr && *cb != nullptr) {
+    *cb = nullptr;
+    --live_events_;
+  }
+}
+
+void Simulation::compact() {
+  // Drop the fired/cancelled prefix so callbacks_ doesn't grow unboundedly.
+  std::size_t prefix = 0;
+  while (prefix < callbacks_.size() && callbacks_[prefix] == nullptr) {
+    ++prefix;
+  }
+  if (prefix > 0 && prefix >= callbacks_.size() / 2) {
+    callbacks_.erase(callbacks_.begin(),
+                     callbacks_.begin() + static_cast<std::ptrdiff_t>(prefix));
+    base_seq_ += prefix;
+  }
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    queue_.pop();
+    Callback* slot = find(top.seq);
+    if (slot == nullptr || *slot == nullptr) continue;  // tombstone
+    Callback cb = std::exchange(*slot, nullptr);
+    MRS_ASSERT(top.time >= now_);
+    now_ = top.time;
+    --live_events_;
+    ++processed_;
+    cb();
+    if (callbacks_.size() > 1024) compact();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulation::run(Seconds max_time) {
+  std::size_t n = 0;
+  while (true) {
+    // Peel tombstones so the stop check sees the next *live* event time.
+    while (!queue_.empty()) {
+      Callback* slot = find(queue_.top().seq);
+      if (slot == nullptr || *slot == nullptr) {
+        queue_.pop();
+      } else {
+        break;
+      }
+    }
+    if (queue_.empty() || queue_.top().time > max_time) break;
+    if (!step()) break;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace mrs::sim

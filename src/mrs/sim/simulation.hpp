@@ -1,0 +1,92 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded calendar queue: events are (time, sequence) ordered, so
+// simultaneous events fire in scheduling order and every run is
+// deterministic. Cancellation uses tombstones (lazy deletion), which the
+// network service relies on to invalidate stale flow-completion events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "mrs/common/check.hpp"
+#include "mrs/common/units.hpp"
+
+namespace mrs::sim {
+
+/// Handle to a scheduled event; valid until the event fires or is cancelled.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  [[nodiscard]] bool valid() const { return seq_ != kInvalid; }
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  static constexpr std::uint64_t kInvalid =
+      std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t seq_ = kInvalid;
+};
+
+/// The event-driven simulation clock and dispatcher.
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (>= now).
+  EventHandle schedule_at(Seconds t, Callback cb);
+
+  /// Schedule `cb` after a delay `dt` (>= 0).
+  EventHandle schedule_in(Seconds dt, Callback cb) {
+    return schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Cancel a pending event; a no-op if it already fired or was cancelled.
+  void cancel(EventHandle h);
+
+  /// Process the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or the clock would pass `max_time`.
+  /// Returns the number of events processed.
+  std::size_t run(Seconds max_time = std::numeric_limits<Seconds>::max());
+
+  [[nodiscard]] std::size_t pending_count() const { return live_events_; }
+  [[nodiscard]] std::size_t processed_count() const { return processed_; }
+
+ private:
+  struct Entry {
+    Seconds time;
+    std::uint64_t seq;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // seq -> callback; empty function marks a cancelled/fired tombstone.
+  // Compacted lazily: entries are erased once fired.
+  std::vector<Callback> callbacks_;
+  std::uint64_t base_seq_ = 0;  ///< seq of callbacks_[0]
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_events_ = 0;
+  std::size_t processed_ = 0;
+
+  [[nodiscard]] Callback* find(std::uint64_t seq);
+  void compact();
+};
+
+}  // namespace mrs::sim

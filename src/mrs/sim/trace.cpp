@@ -1,0 +1,12 @@
+#include "mrs/sim/trace.hpp"
+
+#include "mrs/common/strfmt.hpp"
+
+namespace mrs::sim {
+
+void CsvTraceSink::record(const TraceEvent& event) {
+  writer_.row({strf("%.6f", event.time), to_string(event.kind),
+               event.subject, event.detail});
+}
+
+}  // namespace mrs::sim

@@ -1,0 +1,91 @@
+// Execution tracing: a sink interface the engine feeds with scheduling
+// events (task assigned/finished/killed, job submitted/finished, node
+// failed/recovered, speculative launches), plus in-memory and CSV sinks.
+// Traces make individual runs inspectable offline (timeline tools,
+// debugging placement decisions) without growing the metrics records.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mrs/common/csv.hpp"
+#include "mrs/common/units.hpp"
+
+namespace mrs::sim {
+
+enum class TraceEventKind {
+  kJobActivated,
+  kJobFinished,
+  kMapAssigned,
+  kMapFinished,
+  kMapKilled,
+  kReduceAssigned,
+  kReduceFinished,
+  kReduceKilled,
+  kSpeculativeLaunch,
+  kNodeFailed,
+  kNodeRecovered,
+};
+
+[[nodiscard]] constexpr const char* to_string(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kJobActivated: return "job-activated";
+    case TraceEventKind::kJobFinished: return "job-finished";
+    case TraceEventKind::kMapAssigned: return "map-assigned";
+    case TraceEventKind::kMapFinished: return "map-finished";
+    case TraceEventKind::kMapKilled: return "map-killed";
+    case TraceEventKind::kReduceAssigned: return "reduce-assigned";
+    case TraceEventKind::kReduceFinished: return "reduce-finished";
+    case TraceEventKind::kReduceKilled: return "reduce-killed";
+    case TraceEventKind::kSpeculativeLaunch: return "speculative-launch";
+    case TraceEventKind::kNodeFailed: return "node-failed";
+    case TraceEventKind::kNodeRecovered: return "node-recovered";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  Seconds time = 0.0;
+  TraceEventKind kind = TraceEventKind::kJobActivated;
+  std::string subject;  ///< e.g. "Wordcount_10GB/map/17"
+  std::string detail;   ///< e.g. "node=23 locality=node-local"
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceEvent& event) = 0;
+};
+
+/// Keeps every event in memory (tests, small runs).
+class MemoryTraceSink final : public TraceSink {
+ public:
+  void record(const TraceEvent& event) override {
+    events_.push_back(event);
+  }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t count(TraceEventKind kind) const {
+    std::size_t n = 0;
+    for (const auto& e : events_) n += e.kind == kind ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Streams events to a CSV file (time,kind,subject,detail).
+class CsvTraceSink final : public TraceSink {
+ public:
+  explicit CsvTraceSink(const std::string& path)
+      : writer_(path, {"time", "kind", "subject", "detail"}) {}
+
+  void record(const TraceEvent& event) override;
+
+ private:
+  CsvWriter writer_;
+};
+
+}  // namespace mrs::sim

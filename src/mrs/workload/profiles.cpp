@@ -1,0 +1,53 @@
+#include "mrs/workload/profiles.hpp"
+
+#include "mrs/common/check.hpp"
+
+namespace mrs::workload {
+
+AppProfile wordcount_profile() {
+  AppProfile p;
+  p.kind = mapreduce::JobKind::kWordcount;
+  p.map_rate = 10.0 * units::kMiB;
+  p.reduce_rate = 45.0 * units::kMiB;
+  p.map_selectivity = 1.7;
+  p.selectivity_jitter = 0.15;
+  p.partition_skew = 0.5;
+  p.task_startup = 1.0;
+  return p;
+}
+
+AppProfile terasort_profile() {
+  AppProfile p;
+  p.kind = mapreduce::JobKind::kTerasort;
+  p.map_rate = 40.0 * units::kMiB;
+  p.reduce_rate = 50.0 * units::kMiB;
+  p.map_selectivity = 1.0;
+  p.selectivity_jitter = 0.02;
+  p.partition_skew = 0.1;
+  p.task_startup = 1.0;
+  return p;
+}
+
+AppProfile grep_profile() {
+  AppProfile p;
+  p.kind = mapreduce::JobKind::kGrep;
+  p.map_rate = 60.0 * units::kMiB;
+  p.reduce_rate = 40.0 * units::kMiB;
+  p.map_selectivity = 0.12;
+  p.selectivity_jitter = 0.3;
+  p.partition_skew = 0.8;
+  p.task_startup = 1.0;
+  return p;
+}
+
+AppProfile profile_for(mapreduce::JobKind kind) {
+  switch (kind) {
+    case mapreduce::JobKind::kWordcount: return wordcount_profile();
+    case mapreduce::JobKind::kTerasort: return terasort_profile();
+    case mapreduce::JobKind::kGrep: return grep_profile();
+    case mapreduce::JobKind::kCustom: break;
+  }
+  return AppProfile{};
+}
+
+}  // namespace mrs::workload

@@ -1,0 +1,42 @@
+// Application profiles for the paper's three benchmark workloads
+// (Sec. III: Wordcount, Terasort, Grep generated with BigDataBench /
+// Teragen).
+//
+// A profile captures what the evaluation metrics actually depend on: how
+// fast a map/reduce slot chews through bytes, how many intermediate bytes a
+// map emits per input byte (selectivity), and how skewed the partitioning
+// is. Rates are calibrated so relative behaviour (shuffle-heavy Wordcount/
+// Terasort vs map-heavy Grep, Fig. 3's CDF split) matches the paper.
+#pragma once
+
+#include "mrs/common/units.hpp"
+#include "mrs/mapreduce/job.hpp"
+
+namespace mrs::workload {
+
+struct AppProfile {
+  mapreduce::JobKind kind = mapreduce::JobKind::kCustom;
+  BytesPerSec map_rate = 32.0 * units::kMiB;
+  BytesPerSec reduce_rate = 24.0 * units::kMiB;
+  double map_selectivity = 1.0;
+  double selectivity_jitter = 0.1;
+  double partition_skew = 0.4;
+  double emit_nonlinearity = 1.0;
+  Seconds task_startup = 1.0;
+};
+
+/// Wordcount: CPU-heavy maps, shuffle roughly the size of the input
+/// (tokenised words + counts, no combiner in the paper's setup).
+[[nodiscard]] AppProfile wordcount_profile();
+
+/// Terasort: identity map (selectivity exactly 1), fast maps, nearly
+/// uniform partitions from the sampled range partitioner.
+[[nodiscard]] AppProfile terasort_profile();
+
+/// Grep: scan-speed maps, tiny shuffle (only matching lines), skewed
+/// partitions (match counts are bursty).
+[[nodiscard]] AppProfile grep_profile();
+
+[[nodiscard]] AppProfile profile_for(mapreduce::JobKind kind);
+
+}  // namespace mrs::workload

@@ -1,0 +1,136 @@
+// Tests for the slot-based cluster model and the heartbeat service.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "mrs/cluster/cluster.hpp"
+#include "mrs/cluster/heartbeat.hpp"
+#include "mrs/sim/simulation.hpp"
+
+namespace mrs::cluster {
+namespace {
+
+TEST(Cluster, InitialSlots) {
+  const auto topo = net::make_single_rack(5);
+  NodeConfig cfg;
+  cfg.map_slots = 4;
+  cfg.reduce_slots = 2;
+  Cluster c(&topo, cfg, Rng(1));
+  EXPECT_EQ(c.node_count(), 5u);
+  EXPECT_EQ(c.total_map_slots(), 20u);
+  EXPECT_EQ(c.total_reduce_slots(), 10u);
+  EXPECT_EQ(c.busy_map_slots(), 0u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(c.node(NodeId(i)).free_map_slots(), 4u);
+    EXPECT_EQ(c.node(NodeId(i)).free_reduce_slots(), 2u);
+  }
+}
+
+TEST(Cluster, OccupyRelease) {
+  const auto topo = net::make_single_rack(2);
+  Cluster c(&topo, NodeConfig{}, Rng(1));
+  c.occupy_map_slot(NodeId(0));
+  c.occupy_map_slot(NodeId(0));
+  EXPECT_EQ(c.node(NodeId(0)).free_map_slots(), 2u);
+  EXPECT_EQ(c.busy_map_slots(), 2u);
+  c.release_map_slot(NodeId(0));
+  EXPECT_EQ(c.node(NodeId(0)).free_map_slots(), 3u);
+  c.occupy_reduce_slot(NodeId(1));
+  EXPECT_EQ(c.busy_reduce_slots(), 1u);
+  c.release_reduce_slot(NodeId(1));
+  EXPECT_EQ(c.busy_reduce_slots(), 0u);
+}
+
+TEST(Cluster, FreeSlotLists) {
+  const auto topo = net::make_single_rack(3);
+  NodeConfig cfg;
+  cfg.map_slots = 1;
+  cfg.reduce_slots = 1;
+  Cluster c(&topo, cfg, Rng(1));
+  c.occupy_map_slot(NodeId(1));
+  const auto maps = c.nodes_with_free_map_slots();
+  EXPECT_EQ(maps, (std::vector<NodeId>{NodeId(0), NodeId(2)}));
+  c.occupy_reduce_slot(NodeId(0));
+  c.occupy_reduce_slot(NodeId(2));
+  const auto reduces = c.nodes_with_free_reduce_slots();
+  EXPECT_EQ(reduces, (std::vector<NodeId>{NodeId(1)}));
+}
+
+TEST(Cluster, SpeedFactorsWithinSpread) {
+  const auto topo = net::make_single_rack(50);
+  NodeConfig cfg;
+  cfg.speed_spread = 0.2;
+  Cluster c(&topo, cfg, Rng(5));
+  bool varied = false;
+  for (std::size_t i = 0; i < 50; ++i) {
+    const double f = c.node(NodeId(i)).speed_factor;
+    EXPECT_GE(f, 0.8);
+    EXPECT_LE(f, 1.2);
+    if (f != 1.0) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(Cluster, NoSpreadMeansUnitSpeed) {
+  const auto topo = net::make_single_rack(4);
+  Cluster c(&topo, NodeConfig{}, Rng(5));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(c.node(NodeId(i)).speed_factor, 1.0);
+  }
+}
+
+TEST(Heartbeat, OneBeatPerNodePerInterval) {
+  sim::Simulation s;
+  HeartbeatService hb(&s, 4, 3.0);
+  std::vector<int> beats(4, 0);
+  hb.start([&](NodeId n) {
+    ++beats[n.value()];
+    if (s.now() > 29.0) hb.stop();
+  });
+  s.run(30.0);
+  for (int b : beats) EXPECT_EQ(b, 10);  // 30s / 3s = 10 rounds
+}
+
+TEST(Heartbeat, PhasesAreStriped) {
+  sim::Simulation s;
+  HeartbeatService hb(&s, 3, 3.0);
+  std::vector<Seconds> first_beat(3, -1.0);
+  int seen = 0;
+  hb.start([&](NodeId n) {
+    if (first_beat[n.value()] < 0.0) {
+      first_beat[n.value()] = s.now();
+      if (++seen == 3) hb.stop();
+    }
+  });
+  s.run(4.0);
+  EXPECT_DOUBLE_EQ(first_beat[0], 0.0);
+  EXPECT_DOUBLE_EQ(first_beat[1], 1.0);
+  EXPECT_DOUBLE_EQ(first_beat[2], 2.0);
+}
+
+TEST(Heartbeat, StopDrainsQueue) {
+  sim::Simulation s;
+  HeartbeatService hb(&s, 5, 3.0);
+  hb.start([&](NodeId) {
+    if (s.now() >= 9.0) hb.stop();
+  });
+  s.run();  // must terminate (no infinite rescheduling)
+  EXPECT_LT(s.now(), 13.0);
+  EXPECT_GT(hb.beats_delivered(), 0u);
+}
+
+TEST(Heartbeat, BeatsCounted) {
+  sim::Simulation s;
+  HeartbeatService hb(&s, 2, 1.0);
+  std::size_t seen = 0;
+  hb.start([&](NodeId) {
+    ++seen;
+    if (seen == 6) hb.stop();
+  });
+  s.run();
+  EXPECT_EQ(hb.beats_delivered(), 6u);
+}
+
+}  // namespace
+}  // namespace mrs::cluster

@@ -1,0 +1,198 @@
+// Unit tests for the deterministic splittable RNG (mrs/common/rng.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "mrs/common/ids.hpp"
+#include "mrs/common/rng.hpp"
+
+namespace mrs {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  const Rng root(77);
+  Rng a = root.split("alpha");
+  Rng b = root.split("alpha");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(Rng, SplitLabelsAreIndependent) {
+  const Rng root(77);
+  Rng a = root.split("alpha");
+  Rng b = root.split("beta");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitDoesNotPerturbParent) {
+  Rng a(5);
+  Rng b(5);
+  (void)a.split("child");  // splitting must not consume parent state
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.5, 7.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three values appear
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng r(4);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[r.index(5)];
+  for (int c : counts) EXPECT_GT(c, 700);  // near-uniform
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(0.0));
+  }
+  // Out-of-range probabilities clamp instead of misbehaving.
+  EXPECT_TRUE(r.bernoulli(2.0));
+  EXPECT_FALSE(r.bernoulli(-1.0));
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(8);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(10);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, NormalZeroStddevIsMean) {
+  Rng r(10);
+  EXPECT_DOUBLE_EQ(r.normal(3.25, 0.0), 3.25);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng r(12);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(r.lognormal(0.0, 0.5), 0.0);
+  }
+}
+
+TEST(Rng, ZipfUniformWhenExponentZero) {
+  Rng r(13);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[r.zipf(4, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng r(14);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[r.zipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[9] * 3);
+  // Monotone-ish decay over a wide gap.
+  EXPECT_GT(counts[0] + counts[1], counts[8] + counts[9]);
+}
+
+TEST(Rng, ZipfSingleElement) {
+  Rng r(15);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.zipf(1, 2.0), 0u);
+}
+
+TEST(SplitMix, AvalanchesBits) {
+  // Neighbouring inputs should produce wildly different outputs.
+  const auto a = splitmix64(1);
+  const auto b = splitmix64(2);
+  int differing = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    if (((a >> bit) & 1) != ((b >> bit) & 1)) ++differing;
+  }
+  EXPECT_GT(differing, 20);
+}
+
+TEST(HashLabel, DistinctLabelsDistinctHashes) {
+  EXPECT_NE(hash_label("map"), hash_label("reduce"));
+  EXPECT_NE(hash_label("a"), hash_label("b"));
+  EXPECT_EQ(hash_label("x"), hash_label("x"));
+}
+
+TEST(Ids, StrongTypesCompareAndHash) {
+  const NodeId a(3), b(3), c(4);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(NodeId::invalid().valid());
+  EXPECT_EQ(std::hash<NodeId>{}(a), std::hash<NodeId>{}(b));
+}
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,160 @@
+// Unit and property tests for RunningStats, percentile and Cdf.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "mrs/common/rng.hpp"
+#include "mrs/common/stats.hpp"
+
+namespace mrs {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.1), 1.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+}
+
+TEST(Cdf, FractionAtOrBelow) {
+  Cdf c({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(99.0), 1.0);
+}
+
+TEST(Cdf, PointsAreMonotone) {
+  Cdf c;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) c.add(rng.uniform(0.0, 100.0));
+  const auto pts = c.points();
+  ASSERT_EQ(pts.size(), 200u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i - 1].value, pts[i].value);
+    EXPECT_LT(pts[i - 1].fraction, pts[i].fraction);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().fraction, 1.0);
+}
+
+TEST(Cdf, ValueAtInvertsFraction) {
+  Cdf c;
+  for (int i = 1; i <= 100; ++i) c.add(double(i));
+  EXPECT_NEAR(c.value_at(0.5), 50.5, 1.0);
+  EXPECT_DOUBLE_EQ(c.value_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.value_at(1.0), 100.0);
+}
+
+TEST(Cdf, ResampledHasRequestedSize) {
+  Cdf c;
+  for (int i = 0; i < 37; ++i) c.add(double(i));
+  const auto pts = c.resampled(10);
+  ASSERT_EQ(pts.size(), 10u);
+  EXPECT_DOUBLE_EQ(pts.back().fraction, 1.0);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i - 1].value, pts[i].value);
+  }
+}
+
+TEST(Cdf, AddAfterQueryResorts) {
+  Cdf c({5.0, 1.0});
+  EXPECT_DOUBLE_EQ(c.value_at(0.0), 1.0);
+  c.add(0.5);
+  EXPECT_DOUBLE_EQ(c.value_at(0.0), 0.5);
+}
+
+TEST(RenderCdfAscii, ProducesGridAndLegend) {
+  Cdf a({1, 2, 3, 4, 5});
+  Cdf b({2, 4, 6, 8, 10});
+  const std::vector<std::pair<std::string, const Cdf*>> series = {
+      {"one", &a}, {"two", &b}};
+  const std::string out = render_cdf_ascii(series, 40, 10, "seconds");
+  EXPECT_NE(out.find("legend"), std::string::npos);
+  EXPECT_NE(out.find("*=one"), std::string::npos);
+  EXPECT_NE(out.find("+=two"), std::string::npos);
+  EXPECT_NE(out.find("seconds"), std::string::npos);
+}
+
+TEST(RenderCdfAscii, EmptySeries) {
+  const std::vector<std::pair<std::string, const Cdf*>> series;
+  EXPECT_EQ(render_cdf_ascii(series), "(no data)\n");
+}
+
+// Property sweep: percentile of a uniform sample approximates q.
+class PercentileProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileProperty, MatchesUniformQuantile) {
+  const double q = GetParam();
+  Rng rng(42);
+  std::vector<double> sample;
+  sample.reserve(20000);
+  for (int i = 0; i < 20000; ++i) sample.push_back(rng.uniform01());
+  EXPECT_NEAR(percentile(sample, q), q, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, PercentileProperty,
+                         ::testing::Values(0.05, 0.25, 0.5, 0.75, 0.9, 0.99));
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,139 @@
+// Tests for the assignment-probability models (Eq. 4/5 and alternatives).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mrs/core/probability.hpp"
+
+namespace mrs::core {
+namespace {
+
+constexpr ProbabilityModel kAllModels[] = {
+    ProbabilityModel::kExponential, ProbabilityModel::kLinear,
+    ProbabilityModel::kSigmoid, ProbabilityModel::kStep,
+    ProbabilityModel::kGreedy};
+
+TEST(Probability, ZeroCostAlwaysOne) {
+  for (auto model : kAllModels) {
+    EXPECT_DOUBLE_EQ(assignment_probability(0.0, 10.0, model), 1.0);
+    EXPECT_DOUBLE_EQ(assignment_probability(0.0, 0.0, model), 1.0);
+  }
+}
+
+TEST(Probability, ExponentialMatchesEq4) {
+  // P = 1 - e^{-C_ave / C_i}
+  EXPECT_NEAR(assignment_probability(10.0, 10.0,
+                                     ProbabilityModel::kExponential),
+              1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(assignment_probability(5.0, 10.0,
+                                     ProbabilityModel::kExponential),
+              1.0 - std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(assignment_probability(20.0, 10.0,
+                                     ProbabilityModel::kExponential),
+              1.0 - std::exp(-0.5), 1e-12);
+}
+
+TEST(Probability, ExponentialAtAverageIs063) {
+  // The paper's characteristic operating point: cost == expected cost.
+  EXPECT_NEAR(assignment_probability(7.0, 7.0,
+                                     ProbabilityModel::kExponential),
+              0.6321, 1e-3);
+}
+
+TEST(Probability, LinearHalvesAtAverage) {
+  EXPECT_DOUBLE_EQ(
+      assignment_probability(10.0, 10.0, ProbabilityModel::kLinear), 0.5);
+  EXPECT_DOUBLE_EQ(
+      assignment_probability(5.0, 20.0, ProbabilityModel::kLinear), 1.0);
+}
+
+TEST(Probability, StepIsHardCutoff) {
+  EXPECT_DOUBLE_EQ(
+      assignment_probability(9.9, 10.0, ProbabilityModel::kStep), 1.0);
+  EXPECT_DOUBLE_EQ(
+      assignment_probability(10.0, 10.0, ProbabilityModel::kStep), 1.0);
+  EXPECT_DOUBLE_EQ(
+      assignment_probability(10.1, 10.0, ProbabilityModel::kStep), 0.0);
+}
+
+TEST(Probability, GreedyAlwaysAssigns) {
+  EXPECT_DOUBLE_EQ(
+      assignment_probability(1e12, 1.0, ProbabilityModel::kGreedy), 1.0);
+}
+
+TEST(Probability, SigmoidCentredAtAverage) {
+  EXPECT_NEAR(
+      assignment_probability(10.0, 10.0, ProbabilityModel::kSigmoid), 0.5,
+      1e-12);
+  EXPECT_GT(assignment_probability(5.0, 10.0, ProbabilityModel::kSigmoid),
+            0.8);
+  EXPECT_LT(assignment_probability(20.0, 10.0, ProbabilityModel::kSigmoid),
+            0.05);
+}
+
+TEST(Probability, CutoffClosedForm) {
+  // Sec. II-C: P >= p_min  <=>  cost <= avg / (-ln(1 - p_min)).
+  const double avg = 12.0;
+  for (double p_min : {0.1, 0.4, 0.63, 0.9}) {
+    const double cutoff = exponential_cost_cutoff(avg, p_min);
+    EXPECT_NEAR(assignment_probability(cutoff, avg,
+                                       ProbabilityModel::kExponential),
+                p_min, 1e-9);
+    // Just inside / outside the cutoff.
+    EXPECT_GE(assignment_probability(cutoff * 0.999, avg,
+                                     ProbabilityModel::kExponential),
+              p_min);
+    EXPECT_LT(assignment_probability(cutoff * 1.001, avg,
+                                     ProbabilityModel::kExponential),
+              p_min);
+  }
+}
+
+TEST(Probability, PMin04CutoffFactor) {
+  // With the paper's p_min = 0.4, -ln(0.6) ~= 0.511: assignable iff the
+  // cost is at most ~1.96x the expected cost.
+  EXPECT_NEAR(exponential_cost_cutoff(1.0, 0.4), 1.0 / 0.5108, 1e-3);
+}
+
+// Property sweep: every model is a valid probability, non-increasing in
+// cost and non-decreasing in average cost.
+class ModelProperty : public ::testing::TestWithParam<ProbabilityModel> {};
+
+TEST_P(ModelProperty, InUnitInterval) {
+  const auto model = GetParam();
+  for (double cost = 0.0; cost <= 50.0; cost += 0.5) {
+    for (double avg = 0.0; avg <= 50.0; avg += 2.5) {
+      const double p = assignment_probability(cost, avg, model);
+      EXPECT_GE(p, 0.0) << to_string(model);
+      EXPECT_LE(p, 1.0) << to_string(model);
+    }
+  }
+}
+
+TEST_P(ModelProperty, MonotoneNonIncreasingInCost) {
+  const auto model = GetParam();
+  const double avg = 10.0;
+  double prev = 2.0;
+  for (double cost = 0.1; cost <= 100.0; cost *= 1.5) {
+    const double p = assignment_probability(cost, avg, model);
+    EXPECT_LE(p, prev + 1e-12) << to_string(model) << " cost=" << cost;
+    prev = p;
+  }
+}
+
+TEST_P(ModelProperty, MonotoneNonDecreasingInAverage) {
+  const auto model = GetParam();
+  const double cost = 10.0;
+  double prev = -1.0;
+  for (double avg = 0.1; avg <= 100.0; avg *= 1.5) {
+    const double p = assignment_probability(cost, avg, model);
+    EXPECT_GE(p, prev - 1e-12) << to_string(model) << " avg=" << avg;
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelProperty,
+                         ::testing::ValuesIn(kAllModels));
+
+}  // namespace
+}  // namespace mrs::core

@@ -1,0 +1,269 @@
+// Tests for stragglers, speculative execution and node-failure handling.
+#include <gtest/gtest.h>
+
+#include "mrs/mapreduce/failure_injector.hpp"
+#include "mrs/sched/fifo.hpp"
+#include "test_harness.hpp"
+
+namespace mrs::mapreduce {
+namespace {
+
+using mrs::testing::MiniCluster;
+
+TEST(FailNode, RunningMapsRescheduled) {
+  MiniCluster h(4);
+  JobRun& job = h.submit_job(8, 2);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  h.engine.start();
+  // Let some maps start, then kill node 0 mid-run.
+  h.sim.schedule_at(2.0, [&] { h.engine.fail_node(NodeId(0)); });
+  h.sim.run(1e6);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  EXPECT_EQ(h.engine.failures_injected(), 1u);
+  // Every task completed despite the failure; no slot leaked.
+  EXPECT_EQ(h.clstr.busy_map_slots(), 0u);
+  EXPECT_EQ(h.clstr.busy_reduce_slots(), 0u);
+  // Nothing finished on the dead node after the failure.
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    const auto& m = job.map_state(j);
+    if (m.node == NodeId(0)) {
+      EXPECT_LE(m.finished_at, 2.0 + 1e-9);
+    }
+  }
+}
+
+TEST(FailNode, CompletedOutputsReRun) {
+  MiniCluster h(4);
+  JobRun& job = h.submit_job(6, 2);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  h.engine.start();
+  // Run until all maps finished, then fail a node that hosts outputs while
+  // reduces are still shuffling or unassigned.
+  bool failed = false;
+  std::function<void()> watch = [&] {
+    if (!failed && job.maps_finished() == job.map_count() &&
+        job.reduces_finished() < job.reduce_count()) {
+      // Fail the node where map 0 ran (its output may still be needed).
+      const NodeId victim = job.map_state(0).node;
+      if (h.clstr.node(victim).busy_map_slots == 0) {
+        // Only fail once all its map slots are free (outputs-only case).
+        h.engine.fail_node(victim);
+        failed = true;
+        return;
+      }
+    }
+    if (!h.engine.all_jobs_complete()) h.sim.schedule_in(0.5, watch);
+  };
+  h.sim.schedule_at(0.5, watch);
+  h.sim.run(1e6);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  // Byte conservation still holds after any re-runs.
+  for (std::size_t f = 0; f < job.reduce_count(); ++f) {
+    double expected = 0.0;
+    for (std::size_t j = 0; j < job.map_count(); ++j) {
+      expected += job.final_partition(j, f);
+    }
+    EXPECT_NEAR(job.reduce_state(f).bytes_fetched, expected,
+                expected * 1e-9 + 1.0);
+  }
+}
+
+TEST(FailNode, ReducesRescheduledAndRefetch) {
+  MiniCluster h(4);
+  JobRun& job = h.submit_job(6, 3);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  h.engine.start();
+  // Fail whichever node runs reduce 0, once it is shuffling.
+  std::function<void()> watch = [&] {
+    const auto& r = job.reduce_state(0);
+    if (r.phase == ReducePhase::kShuffling ||
+        r.phase == ReducePhase::kComputing) {
+      h.engine.fail_node(r.node);
+      return;
+    }
+    if (!h.engine.all_jobs_complete()) h.sim.schedule_in(0.5, watch);
+  };
+  h.sim.schedule_at(0.5, watch);
+  h.sim.run(1e6);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  EXPECT_GE(job.reduce_state(0).attempts, 2u);
+  double expected = 0.0;
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    expected += job.final_partition(j, 0);
+  }
+  EXPECT_NEAR(job.reduce_state(0).bytes_fetched, expected,
+              expected * 1e-9 + 1.0);
+}
+
+TEST(FailNode, DeadNodeGetsNoWork) {
+  MiniCluster h(3);
+  JobRun& job = h.submit_job(12, 2);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  h.engine.start();
+  h.sim.schedule_at(1.0, [&] { h.engine.fail_node(NodeId(1)); });
+  h.sim.run(1e6);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    const auto& m = job.map_state(j);
+    if (m.node == NodeId(1)) {
+      EXPECT_LE(m.assigned_at, 1.0 + 1e-9);  // assigned before the failure
+    }
+  }
+}
+
+TEST(FailNode, RecoveryRestoresSlots) {
+  MiniCluster h(3);
+  JobRun& job = h.submit_job(20, 2);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  h.engine.start();
+  h.sim.schedule_at(1.0, [&] { h.engine.fail_node(NodeId(2)); });
+  h.sim.schedule_at(20.0, [&] { h.engine.recover_node(NodeId(2)); });
+  h.sim.run(1e6);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  // Work was assigned to node 2 again after recovery.
+  bool post_recovery_use = false;
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    const auto& m = job.map_state(j);
+    if (m.node == NodeId(2) && m.assigned_at > 20.0) {
+      post_recovery_use = true;
+    }
+  }
+  EXPECT_TRUE(post_recovery_use);
+}
+
+TEST(FailNode, DoubleFailureIsNoop) {
+  MiniCluster h(3);
+  h.submit_job(6, 2);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  h.engine.start();
+  h.sim.schedule_at(1.0, [&] {
+    h.engine.fail_node(NodeId(0));
+    h.engine.fail_node(NodeId(0));  // second call must be harmless
+  });
+  h.sim.run(1e6);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  EXPECT_EQ(h.engine.failures_injected(), 1u);
+}
+
+TEST(Stragglers, SlowdownAppearsInDurations) {
+  mapreduce::EngineConfig cfg;
+  cfg.fault.straggler_probability = 0.5;
+  cfg.fault.straggler_slowdown = 8.0;
+  MiniCluster h(4, {}, cfg);
+  JobRun& job = h.submit_job(30, 2);
+  sched::FifoScheduler fifo;
+  h.run(fifo);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  std::size_t stragglers = 0;
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    if (job.map_state(j).straggler) ++stragglers;
+  }
+  EXPECT_GT(stragglers, 5u);
+  EXPECT_LT(stragglers, 25u);
+}
+
+TEST(Speculation, BackupCutsStragglersShort) {
+  auto run_with = [](bool speculate) {
+    mapreduce::EngineConfig cfg;
+    cfg.fault.straggler_probability = 0.15;
+    cfg.fault.straggler_slowdown = 10.0;
+    cfg.fault.speculative_execution = speculate;
+    cfg.fault.speculation_slack = 1.5;
+    MiniCluster h(6, {}, cfg);
+    h.submit_job(40, 2);
+    sched::FifoScheduler fifo;
+    h.run(fifo);
+    EXPECT_TRUE(h.engine.all_jobs_complete());
+    return std::pair<Seconds, std::size_t>(
+        h.engine.job_records().front().completion_time(),
+        h.engine.speculative_attempts());
+  };
+  const auto [jct_off, spec_off] = run_with(false);
+  const auto [jct_on, spec_on] = run_with(true);
+  EXPECT_EQ(spec_off, 0u);
+  EXPECT_GT(spec_on, 0u);
+  EXPECT_LT(jct_on, jct_off);  // speculation shortens the straggler tail
+}
+
+TEST(Speculation, AttemptsRecorded) {
+  mapreduce::EngineConfig cfg;
+  cfg.fault.straggler_probability = 0.3;
+  cfg.fault.straggler_slowdown = 10.0;
+  cfg.fault.speculative_execution = true;
+  cfg.fault.speculation_slack = 1.5;
+  MiniCluster h(6, {}, cfg);
+  h.submit_job(30, 2);
+  sched::FifoScheduler fifo;
+  h.run(fifo);
+  bool multi_attempt = false;
+  for (const auto& t : h.engine.task_records()) {
+    if (t.attempts > 1) multi_attempt = true;
+  }
+  EXPECT_TRUE(multi_attempt);
+}
+
+TEST(FailureInjector, RandomFailuresStillComplete) {
+  MiniCluster h(6);
+  JobRun& job = h.submit_job(30, 6);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  FailureInjectorConfig fcfg;
+  fcfg.cluster_mtbf = 15.0;  // aggressive: a failure every ~15 s
+  fcfg.repair_time = 30.0;
+  FailureInjector injector(&h.sim, &h.engine, &h.clstr, fcfg, Rng(9));
+  h.engine.start();
+  injector.start();
+  h.sim.run(1e6);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  EXPECT_GT(injector.failures_fired(), 0u);
+  // Conservation still holds.
+  for (std::size_t f = 0; f < job.reduce_count(); ++f) {
+    double expected = 0.0;
+    for (std::size_t j = 0; j < job.map_count(); ++j) {
+      expected += job.final_partition(j, f);
+    }
+    EXPECT_NEAR(job.reduce_state(f).bytes_fetched, expected,
+                expected * 1e-9 + 1.0);
+  }
+}
+
+TEST(FailureInjector, DisabledByDefault) {
+  MiniCluster h(3);
+  h.submit_job(4, 1);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  FailureInjector injector(&h.sim, &h.engine, &h.clstr, {}, Rng(1));
+  h.engine.start();
+  injector.start();
+  h.sim.run(1e6);
+  EXPECT_EQ(injector.failures_fired(), 0u);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+}
+
+TEST(FailureInjector, DeterministicWithFailures) {
+  auto run_once = [] {
+    MiniCluster h(5);
+    h.submit_job(20, 4);
+    sched::FifoScheduler fifo;
+    h.engine.set_scheduler(&fifo);
+    FailureInjectorConfig fcfg;
+    fcfg.cluster_mtbf = 20.0;
+    FailureInjector injector(&h.sim, &h.engine, &h.clstr, fcfg, Rng(4));
+    h.engine.start();
+    injector.start();
+    h.sim.run(1e6);
+    std::vector<double> t;
+    for (const auto& r : h.engine.task_records()) t.push_back(r.finished_at);
+    return t;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace mrs::mapreduce

@@ -1,0 +1,183 @@
+// Tests for the metrics aggregation (locality, CDFs, reductions).
+#include <gtest/gtest.h>
+
+#include "mrs/metrics/summary.hpp"
+
+namespace mrs::metrics {
+namespace {
+
+TaskRecord task(bool is_map, Locality loc, Seconds assigned, Seconds done,
+                std::size_t job = 0, double cost = 0.0) {
+  TaskRecord t;
+  t.job = JobId(job);
+  t.is_map = is_map;
+  t.locality = loc;
+  t.assigned_at = assigned;
+  t.finished_at = done;
+  t.placement_cost = cost;
+  return t;
+}
+
+JobRecord job(std::size_t id, const std::string& name, Seconds submit,
+              Seconds finish) {
+  JobRecord j;
+  j.id = JobId(id);
+  j.name = name;
+  j.submit_time = submit;
+  j.finish_time = finish;
+  return j;
+}
+
+TEST(LocalitySummary, Percentages) {
+  std::vector<TaskRecord> tasks = {
+      task(true, Locality::kNodeLocal, 0, 1),
+      task(true, Locality::kNodeLocal, 0, 1),
+      task(true, Locality::kRackLocal, 0, 1),
+      task(false, Locality::kRemote, 0, 1),
+  };
+  const auto all = locality_summary(tasks, TaskFilter::kAll);
+  EXPECT_EQ(all.total, 4u);
+  EXPECT_DOUBLE_EQ(all.node_local_pct, 50.0);
+  EXPECT_DOUBLE_EQ(all.rack_local_pct, 25.0);
+  EXPECT_DOUBLE_EQ(all.remote_pct, 25.0);
+
+  const auto maps = locality_summary(tasks, TaskFilter::kMapsOnly);
+  EXPECT_EQ(maps.total, 3u);
+  EXPECT_NEAR(maps.node_local_pct, 200.0 / 3.0, 1e-9);
+
+  const auto reduces = locality_summary(tasks, TaskFilter::kReducesOnly);
+  EXPECT_EQ(reduces.total, 1u);
+  EXPECT_DOUBLE_EQ(reduces.remote_pct, 100.0);
+}
+
+TEST(LocalitySummary, EmptyInput) {
+  const auto s = locality_summary({}, TaskFilter::kAll);
+  EXPECT_EQ(s.total, 0u);
+  EXPECT_DOUBLE_EQ(s.node_local_pct, 0.0);
+}
+
+TEST(JobCompletionCdf, UsesCompletionTimes) {
+  std::vector<JobRecord> jobs = {job(0, "a", 0, 100), job(1, "b", 50, 100),
+                                 job(2, "c", 0, 300)};
+  const Cdf cdf = job_completion_cdf(jobs);
+  EXPECT_EQ(cdf.count(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.0), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(1.0), 300.0);
+}
+
+TEST(TaskTimeCdf, FiltersByKind) {
+  std::vector<TaskRecord> tasks = {
+      task(true, Locality::kNodeLocal, 0, 10),
+      task(true, Locality::kNodeLocal, 5, 10),
+      task(false, Locality::kNodeLocal, 0, 100),
+  };
+  EXPECT_EQ(task_time_cdf(tasks, TaskFilter::kMapsOnly).count(), 2u);
+  EXPECT_DOUBLE_EQ(
+      task_time_cdf(tasks, TaskFilter::kReducesOnly).value_at(1.0), 100.0);
+}
+
+TEST(CompletionReduction, PairsByName) {
+  // ours is 20% faster on "a", 50% slower on "b"; "c" unmatched.
+  std::vector<JobRecord> ours = {job(0, "a", 0, 80), job(1, "b", 0, 150),
+                                 job(2, "c", 0, 10)};
+  std::vector<JobRecord> base = {job(0, "a", 0, 100), job(1, "b", 0, 100)};
+  const auto stats = completion_reduction(ours, base);
+  EXPECT_EQ(stats.pairs, 2u);
+  EXPECT_NEAR(stats.mean, (0.2 - 0.5) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.cdf.value_at(1.0), 0.2);
+  EXPECT_DOUBLE_EQ(stats.cdf.value_at(0.0), -0.5);
+}
+
+TEST(CompletionReduction, IdenticalRunsZero) {
+  std::vector<JobRecord> a = {job(0, "x", 0, 50)};
+  const auto stats = completion_reduction(a, a);
+  EXPECT_EQ(stats.pairs, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+TEST(PerJobMapLocality, ComputesFractions) {
+  std::vector<JobRecord> jobs = {job(0, "a", 0, 1), job(1, "b", 0, 1)};
+  std::vector<TaskRecord> tasks = {
+      task(true, Locality::kNodeLocal, 0, 1, 0),
+      task(true, Locality::kRackLocal, 0, 1, 0),
+      task(false, Locality::kRemote, 0, 1, 0),  // reduce: ignored
+      task(true, Locality::kNodeLocal, 0, 1, 1),
+  };
+  const auto out = per_job_map_locality(jobs, tasks);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].map_local_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(out[1].map_local_fraction, 1.0);
+}
+
+TEST(PerJobMapLocality, JobWithoutTasksIsZero) {
+  std::vector<JobRecord> jobs = {job(7, "empty", 0, 1)};
+  const auto out = per_job_map_locality(jobs, {});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].map_local_fraction, 0.0);
+}
+
+TEST(MeanPlacementCost, FiltersAndAverages) {
+  std::vector<TaskRecord> tasks = {
+      task(true, Locality::kNodeLocal, 0, 1, 0, 10.0),
+      task(true, Locality::kNodeLocal, 0, 1, 0, 30.0),
+      task(false, Locality::kNodeLocal, 0, 1, 0, 1000.0),
+  };
+  EXPECT_DOUBLE_EQ(mean_placement_cost(tasks, TaskFilter::kMapsOnly), 20.0);
+  EXPECT_DOUBLE_EQ(mean_placement_cost(tasks, TaskFilter::kReducesOnly),
+                   1000.0);
+  EXPECT_DOUBLE_EQ(mean_placement_cost({}, TaskFilter::kAll), 0.0);
+}
+
+TEST(Timeline, CountsConcurrentTasks) {
+  std::vector<TaskRecord> tasks = {
+      task(true, Locality::kNodeLocal, 0.0, 10.0),
+      task(true, Locality::kNodeLocal, 2.0, 6.0),
+      task(true, Locality::kNodeLocal, 8.0, 12.0),
+      task(false, Locality::kNodeLocal, 0.0, 100.0),  // reduce: filtered
+  };
+  const auto tl =
+      running_tasks_timeline(tasks, TaskFilter::kMapsOnly, 1.0);
+  ASSERT_FALSE(tl.empty());
+  auto at = [&](Seconds t) {
+    for (const auto& p : tl) {
+      if (p.time == t) return p.running;
+    }
+    return std::size_t(9999);
+  };
+  EXPECT_EQ(at(0.0), 1u);
+  EXPECT_EQ(at(3.0), 2u);
+  EXPECT_EQ(at(7.0), 1u);   // second finished at 6
+  EXPECT_EQ(at(9.0), 2u);   // third started at 8
+  EXPECT_EQ(at(13.0), 0u);  // all done
+  const auto summary = summarize_timeline(tl);
+  EXPECT_EQ(summary.peak_running, 2u);
+  EXPECT_GT(summary.mean_running, 0.0);
+}
+
+TEST(Timeline, EmptyInput) {
+  const auto tl = running_tasks_timeline({}, TaskFilter::kAll, 1.0);
+  EXPECT_TRUE(tl.empty());
+  const auto summary = summarize_timeline(tl);
+  EXPECT_EQ(summary.peak_running, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean_running, 0.0);
+}
+
+TEST(UtilizationSummary, Ratios) {
+  mapreduce::UtilizationSummary u;
+  u.map_slot_seconds_busy = 120.0;
+  u.reduce_slot_seconds_busy = 30.0;
+  u.span = 60.0;
+  u.total_map_slots = 4;
+  u.total_reduce_slots = 2;
+  EXPECT_DOUBLE_EQ(u.map_utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(u.reduce_utilization(), 0.25);
+}
+
+TEST(UtilizationSummary, ZeroSpanSafe) {
+  mapreduce::UtilizationSummary u;
+  EXPECT_DOUBLE_EQ(u.map_utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(u.reduce_utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace mrs::metrics

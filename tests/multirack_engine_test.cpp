@@ -1,0 +1,163 @@
+// Integration tests on a multi-rack topology: locality classes beyond the
+// single-rack pair, cross-rack transfer accounting, and scheduler behaviour
+// when remote (off-rack) placements exist.
+#include <gtest/gtest.h>
+
+#include "mrs/core/pna_scheduler.hpp"
+#include "mrs/dfs/block_store.hpp"
+#include "mrs/mapreduce/engine.hpp"
+#include "mrs/net/distance.hpp"
+#include "mrs/sched/fair.hpp"
+#include "mrs/sched/fifo.hpp"
+#include "mrs/sim/network_service.hpp"
+#include "mrs/sim/simulation.hpp"
+
+namespace mrs::mapreduce {
+namespace {
+
+struct MultiRackHarness {
+  explicit MultiRackHarness(std::size_t racks, std::size_t per_rack)
+      : topo(make_topo(racks, per_rack)),
+        store(topo.host_count()),
+        placer(&topo, Rng(3)),
+        clstr(&topo, {}, Rng(4)),
+        network(&sim, &topo),
+        distance(topo),
+        engine(&sim, &clstr, &store, &network, &distance, {}) {}
+
+  static net::Topology make_topo(std::size_t racks, std::size_t per_rack) {
+    net::TreeTopologyConfig cfg;
+    cfg.racks = racks;
+    cfg.hosts_per_rack = per_rack;
+    return net::make_multi_rack_tree(cfg);
+  }
+
+  JobRun& submit_job(std::size_t maps, std::size_t reduces) {
+    JobSpec spec;
+    spec.name = "mr-job";
+    spec.reduce_count = reduces;
+    spec.selectivity_jitter = 0.0;
+    spec.task_startup = 0.5;
+    for (std::size_t j = 0; j < maps; ++j) {
+      const BlockId b = store.add_block(
+          64.0 * units::kMiB,
+          placer.place(2, dfs::PlacementPolicy::kHdfsDefault));
+      spec.map_tasks.push_back({b, 64.0 * units::kMiB});
+    }
+    return engine.submit(std::move(spec), Rng(11));
+  }
+
+  void run(TaskScheduler& sched) {
+    engine.set_scheduler(&sched);
+    engine.start();
+    sim.run(1e6);
+  }
+
+  sim::Simulation sim;
+  net::Topology topo;
+  dfs::BlockStore store;
+  dfs::BlockPlacer placer;
+  cluster::Cluster clstr;
+  sim::NetworkService network;
+  net::HopDistanceProvider distance;
+  Engine engine;
+};
+
+TEST(MultiRack, LocalityClassesMatchTopology) {
+  MultiRackHarness h(3, 4);
+  JobRun& job = h.submit_job(24, 4);
+  sched::FifoScheduler fifo;
+  h.run(fifo);
+  ASSERT_TRUE(h.engine.all_jobs_complete());
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    const auto& m = job.map_state(j);
+    const auto& replicas = h.store.replicas(job.spec().map_tasks[j].block);
+    bool on_replica = false, same_rack = false;
+    for (NodeId r : replicas) {
+      if (r == m.node) on_replica = true;
+      if (h.topo.same_rack(r, m.node)) same_rack = true;
+    }
+    if (on_replica) {
+      EXPECT_EQ(m.locality, Locality::kNodeLocal);
+    } else if (same_rack) {
+      EXPECT_EQ(m.locality, Locality::kRackLocal);
+    } else {
+      EXPECT_EQ(m.locality, Locality::kRemote);
+    }
+  }
+}
+
+TEST(MultiRack, MapCostReflectsHopClasses) {
+  MultiRackHarness h(2, 3);
+  JobRun& job = h.submit_job(4, 2);
+  // For every (task, node), cost must be B * {0, 2, or 4}.
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    for (std::size_t n = 0; n < h.topo.host_count(); ++n) {
+      const double cost = h.engine.map_cost(job, j, NodeId(n));
+      const double per_byte = cost / (64.0 * units::kMiB);
+      EXPECT_TRUE(per_byte == 0.0 || per_byte == 2.0 || per_byte == 4.0)
+          << "unexpected distance " << per_byte;
+    }
+  }
+}
+
+TEST(MultiRack, PnaPrefersNearerRack) {
+  // All replicas in rack 0; PNA's cost model must place clearly more maps
+  // in rack 0 than in the farthest rack when slots are plentiful.
+  MultiRackHarness h(2, 6);
+  JobSpec spec;
+  spec.name = "rack-pinned";
+  spec.reduce_count = 2;
+  spec.selectivity_jitter = 0.0;
+  spec.task_startup = 0.5;
+  Rng pick(5);
+  for (int j = 0; j < 18; ++j) {
+    // Replicas on two distinct rack-0 nodes (hosts 0..5).
+    const NodeId a(pick.index(6));
+    const NodeId b((a.value() + 1 + pick.index(5)) % 6);
+    const BlockId blk =
+        h.store.add_block(64.0 * units::kMiB, {a, b});
+    spec.map_tasks.push_back({blk, 64.0 * units::kMiB});
+  }
+  JobRun& job = h.engine.submit(std::move(spec), Rng(12));
+  core::PnaScheduler pna({}, Rng(6));
+  h.run(pna);
+  ASSERT_TRUE(job.complete());
+  std::size_t in_rack0 = 0;
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    if (h.topo.rack_of(job.map_state(j).node) == RackId(0)) ++in_rack0;
+  }
+  EXPECT_GT(in_rack0, job.map_count() * 2 / 3);
+}
+
+TEST(MultiRack, CrossRackBytesAccounted) {
+  MultiRackHarness h(2, 3);
+  JobRun& job = h.submit_job(8, 3);
+  sched::FairScheduler fair({}, Rng(7));
+  h.run(fair);
+  ASSERT_TRUE(h.engine.all_jobs_complete());
+  // Reduce network bytes = everything not sourced on the reduce's node.
+  for (const auto& t : h.engine.task_records()) {
+    if (t.is_map) continue;
+    double expected = 0.0;
+    for (std::size_t j = 0; j < job.map_count(); ++j) {
+      if (job.map_state(j).node != t.node) {
+        expected += job.final_partition(j, t.index);
+      }
+    }
+    EXPECT_NEAR(t.network_bytes, expected, expected * 1e-9 + 1.0);
+  }
+}
+
+TEST(MultiRack, FairDelayEscalatesThroughRackLevel) {
+  MultiRackHarness h(2, 2);
+  JobRun& job = h.submit_job(12, 2);
+  sched::FairScheduler fair({.node_local_delay = 1.0,
+                             .rack_local_delay = 1.0},
+                            Rng(8));
+  h.run(fair);
+  EXPECT_TRUE(job.complete());
+}
+
+}  // namespace
+}  // namespace mrs::mapreduce

@@ -1,0 +1,183 @@
+// Tests for the link-condition model and the distance providers built on it.
+#include <gtest/gtest.h>
+
+#include "mrs/common/rng.hpp"
+#include "mrs/net/distance.hpp"
+#include "mrs/net/flow.hpp"
+#include "mrs/net/link_condition.hpp"
+#include "mrs/net/topology.hpp"
+
+namespace mrs::net {
+namespace {
+
+constexpr double kGb = 1e9 / 8.0;
+
+BackgroundTrafficConfig busy_config() {
+  BackgroundTrafficConfig cfg;
+  cfg.mean_utilization = 0.3;
+  cfg.burst_utilization = 0.4;
+  cfg.burst_probability = 0.3;
+  cfg.resample_interval = 10.0;
+  cfg.uplinks_only = false;
+  return cfg;
+}
+
+TEST(LinkCondition, CleanWhenZeroConfig) {
+  const Topology t = make_single_rack(4);
+  BackgroundTrafficConfig cfg;  // all zero
+  LinkConditionModel m(&t, cfg, Rng(1));
+  for (std::size_t l = 0; l < t.link_count(); ++l) {
+    for (bool rev : {false, true}) {
+      EXPECT_DOUBLE_EQ(m.effective_capacity(DirectedLink{LinkId(l), rev}),
+                       t.link(LinkId(l)).capacity);
+    }
+  }
+}
+
+TEST(LinkCondition, UtilizationWithinBounds) {
+  const Topology t = make_single_rack(6);
+  LinkConditionModel m(&t, busy_config(), Rng(2));
+  for (Seconds tick = 0.0; tick < 100.0; tick += 10.0) {
+    m.advance_to(tick);
+    for (std::size_t d = 0; d < t.link_count() * 2; ++d) {
+      EXPECT_GE(m.utilization(d), 0.0);
+      EXPECT_LE(m.utilization(d), 0.95);
+    }
+  }
+}
+
+TEST(LinkCondition, UplinksOnlySparesHostLinks) {
+  TreeTopologyConfig tcfg;
+  tcfg.racks = 2;
+  tcfg.hosts_per_rack = 2;
+  const Topology t = make_multi_rack_tree(tcfg);
+  BackgroundTrafficConfig cfg = busy_config();
+  cfg.uplinks_only = true;
+  LinkConditionModel m(&t, cfg, Rng(3));
+  // Every host link stays clean in uplinks-only mode.
+  for (std::size_t l = 0; l < t.link_count(); ++l) {
+    const Link& link = t.link(LinkId(l));
+    const bool host_link =
+        t.vertex(link.a).kind == VertexKind::kHost ||
+        t.vertex(link.b).kind == VertexKind::kHost;
+    if (host_link) {
+      EXPECT_DOUBLE_EQ(m.utilization(2 * l), 0.0);
+      EXPECT_DOUBLE_EQ(m.utilization(2 * l + 1), 0.0);
+    }
+  }
+}
+
+TEST(LinkCondition, ResampleAdvancesEpoch) {
+  const Topology t = make_single_rack(4);
+  LinkConditionModel m(&t, busy_config(), Rng(4));
+  const auto e0 = m.resample_epoch();
+  m.advance_to(5.0);  // within first interval: no resample
+  EXPECT_EQ(m.resample_epoch(), e0);
+  m.advance_to(25.0);  // crosses two interval boundaries (10, 20)
+  EXPECT_EQ(m.resample_epoch(), e0 + 2);
+}
+
+TEST(LinkCondition, AdvanceIsIdempotentBackwards) {
+  const Topology t = make_single_rack(4);
+  LinkConditionModel m(&t, busy_config(), Rng(5));
+  m.advance_to(35.0);
+  const auto epoch = m.resample_epoch();
+  m.advance_to(10.0);  // earlier time: no-op
+  EXPECT_EQ(m.resample_epoch(), epoch);
+}
+
+TEST(LinkCondition, InverseRateDistanceNormalization) {
+  const Topology t = make_single_rack(4, units::Gbps(1));
+  BackgroundTrafficConfig cfg;  // clean
+  LinkConditionModel m(&t, cfg, Rng(6));
+  // Uncongested two-hop rack path costs exactly 2.0 (hop-equivalent).
+  EXPECT_NEAR(m.inverse_rate_distance(NodeId(0), NodeId(1)), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.inverse_rate_distance(NodeId(2), NodeId(2)), 0.0);
+}
+
+TEST(LinkCondition, WeightedDistanceCleanEqualsHops) {
+  const Topology t = make_single_rack(4, units::Gbps(1));
+  BackgroundTrafficConfig cfg;
+  LinkConditionModel m(&t, cfg, Rng(7));
+  EXPECT_NEAR(m.weighted_path_distance(NodeId(0), NodeId(1)), 2.0, 1e-9);
+}
+
+TEST(LinkCondition, CongestionInflatesDistance) {
+  const Topology t = make_single_rack(4, units::Gbps(1));
+  LinkConditionModel m(&t, busy_config(), Rng(8));
+  double max_d = 0.0;
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      const double d = m.weighted_path_distance(NodeId(a), NodeId(b));
+      EXPECT_GE(d, 2.0 - 1e-9);
+      max_d = std::max(max_d, d);
+    }
+  }
+  EXPECT_GT(max_d, 2.0);  // at least one congested path got longer
+}
+
+TEST(LinkCondition, PathRateIsBottleneck) {
+  TreeTopologyConfig tcfg;
+  tcfg.racks = 2;
+  tcfg.hosts_per_rack = 2;
+  tcfg.host_link = units::Gbps(1);
+  tcfg.uplink = units::Gbps(10);
+  const Topology t = make_multi_rack_tree(tcfg);
+  BackgroundTrafficConfig cfg;  // clean
+  LinkConditionModel m(&t, cfg, Rng(9));
+  // Cross-rack path's bottleneck is the 1 Gbps host link.
+  EXPECT_NEAR(m.path_rate(NodeId(0), NodeId(2)), units::Gbps(1), 1.0);
+}
+
+TEST(RateDistanceProvider, CacheFollowsEpoch) {
+  const Topology t = make_single_rack(4, units::Gbps(1));
+  LinkConditionModel m(&t, busy_config(), Rng(10));
+  RateDistanceProvider p(&m, RateDistanceProvider::Form::kPerLinkSum);
+  EXPECT_FALSE(p.is_static());
+  const double d0 = p.distance(NodeId(0), NodeId(1), 0.0);
+  EXPECT_DOUBLE_EQ(p.distance(NodeId(0), NodeId(1), 5.0), d0);  // same epoch
+  // Over many resamples the distance must change eventually.
+  bool changed = false;
+  for (Seconds now = 10.0; now <= 200.0; now += 10.0) {
+    if (p.distance(NodeId(0), NodeId(1), now) != d0) {
+      changed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(LoadAwareProvider, IdleEqualsHops) {
+  const Topology t = make_single_rack(4, units::Gbps(1));
+  FlowModel fm(&t);
+  LoadAwareDistanceProvider p(&t, &fm, nullptr);
+  EXPECT_NEAR(p.distance(NodeId(0), NodeId(1), 0.0), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(p.distance(NodeId(1), NodeId(1), 0.0), 0.0);
+}
+
+TEST(LoadAwareProvider, ActiveFlowsInflateDistance) {
+  const Topology t = make_single_rack(4, units::Gbps(1));
+  FlowModel fm(&t);
+  LoadAwareDistanceProvider p(&t, &fm, nullptr);
+  const double before = p.distance(NodeId(0), NodeId(1), 0.0);
+  fm.start(NodeId(0), NodeId(2), 100.0 * kGb, 0.0);  // loads node 0 uplink
+  const double after = p.distance(NodeId(0), NodeId(1), 0.0);
+  EXPECT_GT(after, before);
+  // An unrelated pair stays at the idle distance.
+  EXPECT_NEAR(p.distance(NodeId(2), NodeId(3), 0.0), 2.0, 1e-9);
+}
+
+TEST(LoadAwareProvider, DistanceScalesWithFlowCount) {
+  const Topology t = make_single_rack(5, units::Gbps(1));
+  FlowModel fm(&t);
+  LoadAwareDistanceProvider p(&t, &fm, nullptr);
+  fm.start(NodeId(1), NodeId(0), 100.0 * kGb, 0.0);
+  const double one = p.distance(NodeId(2), NodeId(0), 0.0);
+  fm.start(NodeId(3), NodeId(0), 100.0 * kGb, 0.0);
+  const double two = p.distance(NodeId(2), NodeId(0), 0.0);
+  EXPECT_GT(two, one);  // busier downlink into node 0 looks farther
+}
+
+}  // namespace
+}  // namespace mrs::net

@@ -1,0 +1,237 @@
+// Tests for the baseline schedulers: FIFO, Fair (+delay scheduling),
+// Coupling, and the shared job-ordering policy.
+#include <gtest/gtest.h>
+
+#include "mrs/mapreduce/job_policy.hpp"
+#include "mrs/sched/coupling.hpp"
+#include "mrs/sched/fair.hpp"
+#include "mrs/sched/fifo.hpp"
+#include "test_harness.hpp"
+
+namespace mrs::sched {
+namespace {
+
+using mapreduce::JobOrder;
+using mapreduce::JobRun;
+using mapreduce::Locality;
+using mapreduce::ReducePhase;
+using mrs::testing::MiniCluster;
+
+TEST(Fifo, CompletesBatch) {
+  MiniCluster h(4);
+  h.submit_job(8, 3);
+  h.submit_job(6, 2);
+  FifoScheduler fifo;
+  h.run(fifo);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+}
+
+TEST(Fifo, FirstJobFinishesFirst) {
+  MiniCluster h(3);
+  JobRun& first = h.submit_job(6, 2);
+  JobRun& second = h.submit_job(6, 2);
+  FifoScheduler fifo;
+  h.run(fifo);
+  EXPECT_LE(first.finish_time, second.finish_time);
+}
+
+TEST(Fifo, PrefersNodeLocalTasks) {
+  MiniCluster h(4);
+  JobRun& job = h.submit_job(16, 2);
+  FifoScheduler fifo;
+  h.run(fifo);
+  std::size_t local = 0;
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    if (job.map_state(j).locality == Locality::kNodeLocal) ++local;
+  }
+  EXPECT_GT(local, job.map_count() / 2);
+}
+
+TEST(Fair, CompletesBatch) {
+  MiniCluster h(4);
+  h.submit_job(10, 4);
+  h.submit_job(10, 4);
+  FairScheduler fair(FairConfig{}, Rng(1));
+  h.run(fair);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+}
+
+TEST(Fair, SharesSlotsAcrossJobs) {
+  // Two equal jobs under fair sharing should finish close together,
+  // unlike FIFO where the first finishes well before the second.
+  auto spread = [](mapreduce::TaskScheduler& s) {
+    MiniCluster h(4);
+    JobRun& a = h.submit_job(20, 4);
+    JobRun& b = h.submit_job(20, 4);
+    h.run(s);
+    return std::abs(a.finish_time - b.finish_time);
+  };
+  FifoScheduler fifo;
+  FairScheduler fair(FairConfig{}, Rng(2));
+  EXPECT_LT(spread(fair), spread(fifo) + 1e-9);
+}
+
+TEST(Fair, DelayEscalationEventuallyAcceptsNonLocal) {
+  // Single job whose blocks live only on node 0 (replication 1 to a known
+  // node is impossible through the placer, so build a custom spec).
+  MiniCluster h(3);
+  mapreduce::JobSpec spec;
+  spec.name = "pinned";
+  spec.reduce_count = 1;
+  spec.selectivity_jitter = 0.0;
+  spec.task_startup = 0.5;
+  // Long tasks keep node 0's four slots busy between heartbeats, so no
+  // local launch resets the job's delay state while other nodes wait out
+  // their escalation window.
+  spec.map_rate = 8.0 * units::kMiB;  // 256 MiB block -> 32 s compute
+  for (int j = 0; j < 12; ++j) {
+    const BlockId b = h.store.add_block(256.0 * units::kMiB, {NodeId(0)});
+    spec.map_tasks.push_back({b, 256.0 * units::kMiB});
+  }
+  JobRun& job = h.engine.submit(std::move(spec), Rng(3));
+  FairScheduler fair(FairConfig{.node_local_delay = 2.0,
+                                .rack_local_delay = 2.0},
+                     Rng(4));
+  h.run(fair);
+  EXPECT_TRUE(job.complete());
+  // Node 0 saturates at 4 concurrent tasks; the delay escalates on the
+  // other nodes and some of the 12 tasks run remotely.
+  std::size_t off_node = 0;
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    if (job.map_state(j).node != NodeId(0)) ++off_node;
+  }
+  EXPECT_GE(off_node, 1u);
+}
+
+TEST(Fair, RandomReducePlacementVaries) {
+  auto reduce_nodes = [](std::uint64_t seed) {
+    MiniCluster h(6);
+    JobRun& job = h.submit_job(6, 6);
+    FairScheduler fair(FairConfig{}, Rng(seed));
+    h.run(fair);
+    std::vector<std::size_t> nodes;
+    for (std::size_t f = 0; f < job.reduce_count(); ++f) {
+      nodes.push_back(job.reduce_state(f).node.value());
+    }
+    return nodes;
+  };
+  EXPECT_NE(reduce_nodes(1), reduce_nodes(12345));
+}
+
+TEST(Coupling, CompletesBatch) {
+  MiniCluster h(4);
+  h.submit_job(10, 4);
+  h.submit_job(8, 6);
+  CouplingScheduler coupling(CouplingConfig{}, Rng(5));
+  h.run(coupling);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+}
+
+TEST(Coupling, ReduceLaunchCoupledToMapProgress) {
+  // With the quota = ceil(progress * reduces), no reduce may be *assigned*
+  // while zero maps have finished.
+  struct Watcher final : mapreduce::TaskScheduler {
+    CouplingScheduler* inner;
+    JobRun* job;
+    bool violated = false;
+    const char* name() const override { return "watch"; }
+    void on_heartbeat(mapreduce::Engine& e, NodeId node) override {
+      inner->on_heartbeat(e, node);
+      const std::size_t launched =
+          job->reduce_count() - job->reduces_unassigned();
+      const double progress = job->map_finished_fraction();
+      const auto quota = static_cast<std::size_t>(
+          std::ceil(progress * double(job->reduce_count())));
+      if (launched > quota) violated = true;
+    }
+  };
+  MiniCluster h(4);
+  JobRun& job = h.submit_job(12, 8);
+  CouplingScheduler coupling(CouplingConfig{}, Rng(6));
+  Watcher w;
+  w.inner = &coupling;
+  w.job = &job;
+  h.run(w);
+  EXPECT_TRUE(job.complete());
+  EXPECT_FALSE(w.violated);
+}
+
+TEST(Coupling, PostponeBoundedByThreeRounds) {
+  MiniCluster h(5);
+  JobRun& job = h.submit_job(10, 6);
+  CouplingConfig cfg;
+  cfg.max_postpones = 3;
+  cfg.centrality_tolerance = 0.0;  // nothing is ever "central enough"
+  CouplingScheduler coupling(cfg, Rng(7));
+  h.run(coupling);
+  EXPECT_TRUE(job.complete());
+  for (std::size_t f = 0; f < job.reduce_count(); ++f) {
+    EXPECT_LE(job.reduce_state(f).postpone_count, 3u);
+  }
+}
+
+TEST(Coupling, NoColocatedReduces) {
+  MiniCluster h(4);
+  JobRun& job = h.submit_job(6, 8);
+  CouplingScheduler coupling(CouplingConfig{}, Rng(8));
+  struct Watcher final : mapreduce::TaskScheduler {
+    CouplingScheduler* inner;
+    JobRun* job;
+    bool violated = false;
+    const char* name() const override { return "watch"; }
+    void on_heartbeat(mapreduce::Engine& e, NodeId node) override {
+      inner->on_heartbeat(e, node);
+      std::vector<int> running(e.cluster().node_count(), 0);
+      for (std::size_t f = 0; f < job->reduce_count(); ++f) {
+        const auto& r = job->reduce_state(f);
+        if (r.phase != ReducePhase::kUnassigned &&
+            r.phase != ReducePhase::kDone) {
+          if (++running[r.node.value()] > 1) violated = true;
+        }
+      }
+    }
+  } w;
+  w.inner = &coupling;
+  w.job = &job;
+  h.run(w);
+  EXPECT_FALSE(w.violated);
+}
+
+TEST(JobPolicy, FairOrdersByRunningTasks) {
+  MiniCluster h(4);
+  JobRun& a = h.submit_job(10, 2);
+  JobRun& b = h.submit_job(10, 2);
+  // Activate manually (no scheduler run): simulate a having more running.
+  static FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  h.engine.start();
+  h.sim.run(0.1);  // activate jobs, a couple of heartbeats
+  a.note_map_assigned();
+  a.note_map_assigned();
+  b.note_map_assigned();
+  const auto ordered = mapreduce::jobs_for_maps(h.engine, JobOrder::kFair);
+  ASSERT_EQ(ordered.size(), 2u);
+  EXPECT_EQ(ordered.front(), &b);  // fewer running maps first
+  const auto fifo_ordered =
+      mapreduce::jobs_for_maps(h.engine, JobOrder::kFifo);
+  EXPECT_EQ(fifo_ordered.front(), &a);  // submission order
+}
+
+TEST(JobPolicy, ReduceListRespectsGate) {
+  mapreduce::EngineConfig ecfg;
+  ecfg.reduce_slowstart = 0.5;
+  MiniCluster h(3, {}, ecfg);
+  JobRun& job = h.submit_job(4, 2);
+  FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  h.engine.start();
+  h.sim.run(0.1);
+  EXPECT_TRUE(mapreduce::jobs_for_reduces(h.engine, JobOrder::kFair).empty());
+  job.note_map_finished();
+  job.note_map_finished();
+  EXPECT_EQ(mapreduce::jobs_for_reduces(h.engine, JobOrder::kFair).size(),
+            1u);
+}
+
+}  // namespace
+}  // namespace mrs::sched

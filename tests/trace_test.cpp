@@ -1,0 +1,129 @@
+// Tests for the execution trace subsystem.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "mrs/sched/fifo.hpp"
+#include "mrs/sim/trace.hpp"
+#include "test_harness.hpp"
+
+namespace mrs::sim {
+namespace {
+
+using mapreduce::JobRun;
+using mrs::testing::MiniCluster;
+
+TEST(Trace, EngineEmitsLifecycleEvents) {
+  MiniCluster h(4);
+  JobRun& job = h.submit_job(6, 3);
+  MemoryTraceSink sink;
+  h.engine.set_trace_sink(&sink);
+  sched::FifoScheduler fifo;
+  h.run(fifo);
+  ASSERT_TRUE(h.engine.all_jobs_complete());
+
+  EXPECT_EQ(sink.count(TraceEventKind::kJobActivated), 1u);
+  EXPECT_EQ(sink.count(TraceEventKind::kJobFinished), 1u);
+  EXPECT_EQ(sink.count(TraceEventKind::kMapAssigned), job.map_count());
+  EXPECT_EQ(sink.count(TraceEventKind::kMapFinished), job.map_count());
+  EXPECT_EQ(sink.count(TraceEventKind::kReduceAssigned),
+            job.reduce_count());
+  EXPECT_EQ(sink.count(TraceEventKind::kReduceFinished),
+            job.reduce_count());
+  EXPECT_EQ(sink.count(TraceEventKind::kMapKilled), 0u);
+  EXPECT_EQ(sink.count(TraceEventKind::kNodeFailed), 0u);
+}
+
+TEST(Trace, EventsAreTimeOrdered) {
+  MiniCluster h(3);
+  h.submit_job(8, 2);
+  MemoryTraceSink sink;
+  h.engine.set_trace_sink(&sink);
+  sched::FifoScheduler fifo;
+  h.run(fifo);
+  const auto& events = sink.events();
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time, events[i - 1].time);
+  }
+  // First event is the job activation, last its completion.
+  EXPECT_EQ(events.front().kind, TraceEventKind::kJobActivated);
+  EXPECT_EQ(events.back().kind, TraceEventKind::kJobFinished);
+}
+
+TEST(Trace, SubjectsNameJobAndTask) {
+  MiniCluster h(3);
+  h.submit_job(2, 1);
+  MemoryTraceSink sink;
+  h.engine.set_trace_sink(&sink);
+  sched::FifoScheduler fifo;
+  h.run(fifo);
+  bool saw_map = false;
+  for (const auto& e : sink.events()) {
+    if (e.kind == TraceEventKind::kMapAssigned) {
+      EXPECT_NE(e.subject.find("/map/"), std::string::npos);
+      EXPECT_NE(e.detail.find("node="), std::string::npos);
+      EXPECT_NE(e.detail.find("locality="), std::string::npos);
+      saw_map = true;
+    }
+  }
+  EXPECT_TRUE(saw_map);
+}
+
+TEST(Trace, FailureEventsRecorded) {
+  MiniCluster h(4);
+  h.submit_job(10, 2);
+  MemoryTraceSink sink;
+  h.engine.set_trace_sink(&sink);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  h.engine.start();
+  h.sim.schedule_at(2.0, [&] { h.engine.fail_node(NodeId(0)); });
+  h.sim.schedule_at(30.0, [&] { h.engine.recover_node(NodeId(0)); });
+  h.sim.run(1e6);
+  EXPECT_EQ(sink.count(TraceEventKind::kNodeFailed), 1u);
+  EXPECT_EQ(sink.count(TraceEventKind::kNodeRecovered), 1u);
+  EXPECT_GT(sink.count(TraceEventKind::kMapKilled) +
+                sink.count(TraceEventKind::kReduceKilled),
+            0u);
+}
+
+TEST(Trace, CsvSinkWritesRows) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pnats_trace_test.csv")
+          .string();
+  {
+    MiniCluster h(3);
+    h.submit_job(3, 1);
+    CsvTraceSink sink(path);
+    h.engine.set_trace_sink(&sink);
+    sched::FifoScheduler fifo;
+    h.run(fifo);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "time,kind,subject,detail");
+  std::size_t rows = 0;
+  bool saw_finished = false;
+  while (std::getline(in, line)) {
+    ++rows;
+    if (line.find("job-finished") != std::string::npos) saw_finished = true;
+  }
+  EXPECT_GE(rows, 3u + 1u + 2u);  // at least one event per task + job
+  EXPECT_TRUE(saw_finished);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, NoSinkNoCrash) {
+  MiniCluster h(3);
+  h.submit_job(4, 2);
+  sched::FifoScheduler fifo;
+  h.run(fifo);  // no sink installed: tracing is a no-op
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+}
+
+}  // namespace
+}  // namespace mrs::sim

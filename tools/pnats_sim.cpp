@@ -1,0 +1,192 @@
+// pnats_sim — command-line front end for the simulator.
+//
+// Runs a workload under a chosen scheduler and prints a summary; optionally
+// persists the full task/job records for offline analysis.
+//
+// Usage:
+//   pnats_sim [options]
+//     --scheduler NAME    fifo|fair|coupling|larts|mincost|probabilistic
+//                         (default probabilistic)
+//     --batch NAME        wordcount|terasort|grep|all|mixed (default mixed)
+//     --jobs-file CSV     custom jobs (name,kind,maps,reduces); overrides
+//                         --batch
+//     --nodes N           cluster size (default 60)
+//     --racks N           topology racks (default 1)
+//     --seed N            root RNG seed (default 42)
+//     --pmin X            P_min threshold (default 0.4)
+//     --replication N     DFS replication factor (default 2)
+//     --placement NAME    hdfs|random|skewed (default hdfs)
+//     --distance NAME     hops|inverse-rate|weighted|load-aware
+//                         (default load-aware)
+//     --straggler-p X     per-attempt straggler probability (default 0)
+//     --speculation       enable speculative execution
+//     --mtbf SECONDS      cluster MTBF for failure injection (default off)
+//     --out DIR           save records under DIR (result_io format)
+//     --trace FILE        write an execution trace CSV
+//     --quiet             summary line only
+//     --help
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "mrs/driver/experiment.hpp"
+#include "mrs/driver/result_io.hpp"
+#include "mrs/metrics/summary.hpp"
+
+namespace {
+
+using namespace mrs;
+
+[[noreturn]] void usage(int code) {
+  std::fputs(
+      "usage: pnats_sim [--scheduler NAME] [--batch NAME|--jobs-file CSV]\n"
+      "                 [--nodes N]\n"
+      "                 [--racks N] [--seed N] [--pmin X] [--replication N]\n"
+      "                 [--placement hdfs|random|skewed]\n"
+      "                 [--distance hops|inverse-rate|weighted|load-aware]\n"
+      "                 [--straggler-p X] [--speculation] [--mtbf SECONDS]\n"
+      "                 [--out DIR] [--trace FILE] [--quiet]\n",
+      code == 0 ? stdout : stderr);
+  std::exit(code);
+}
+
+driver::SchedulerKind parse_scheduler(const std::string& s) {
+  if (s == "fifo") return driver::SchedulerKind::kFifo;
+  if (s == "fair") return driver::SchedulerKind::kFair;
+  if (s == "coupling") return driver::SchedulerKind::kCoupling;
+  if (s == "larts") return driver::SchedulerKind::kLarts;
+  if (s == "mincost") return driver::SchedulerKind::kMinCost;
+  if (s == "probabilistic" || s == "pna") {
+    return driver::SchedulerKind::kPna;
+  }
+  std::fprintf(stderr, "unknown scheduler '%s'\n", s.c_str());
+  usage(2);
+}
+
+std::vector<workload::JobDescription> parse_batch(const std::string& s) {
+  using mapreduce::JobKind;
+  if (s == "wordcount") return workload::table2_batch(JobKind::kWordcount);
+  if (s == "terasort") return workload::table2_batch(JobKind::kTerasort);
+  if (s == "grep") return workload::table2_batch(JobKind::kGrep);
+  if (s == "all") return workload::table2_catalog();
+  if (s == "mixed") {
+    std::vector<workload::JobDescription> jobs;
+    const auto& cat = workload::table2_catalog();
+    for (int i : {0, 2, 10, 12, 20, 22}) jobs.push_back(cat[i]);
+    return jobs;
+  }
+  std::fprintf(stderr, "unknown batch '%s'\n", s.c_str());
+  usage(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scheduler = "probabilistic";
+  std::string batch = "mixed";
+  std::string placement = "hdfs";
+  std::string distance = "load-aware";
+  std::string out_dir, trace_path, jobs_file;
+  std::size_t nodes = 60, racks = 1, replication = 2;
+  std::uint64_t seed = 42;
+  double pmin = 0.4, straggler_p = 0.0, mtbf = 0.0;
+  bool speculation = false, quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") usage(0);
+    else if (arg == "--scheduler") scheduler = next();
+    else if (arg == "--batch") batch = next();
+    else if (arg == "--jobs-file") jobs_file = next();
+    else if (arg == "--nodes") nodes = std::stoul(next());
+    else if (arg == "--racks") racks = std::stoul(next());
+    else if (arg == "--seed") seed = std::stoull(next());
+    else if (arg == "--pmin") pmin = std::stod(next());
+    else if (arg == "--replication") replication = std::stoul(next());
+    else if (arg == "--placement") placement = next();
+    else if (arg == "--distance") distance = next();
+    else if (arg == "--straggler-p") straggler_p = std::stod(next());
+    else if (arg == "--speculation") speculation = true;
+    else if (arg == "--mtbf") mtbf = std::stod(next());
+    else if (arg == "--out") out_dir = next();
+    else if (arg == "--trace") trace_path = next();
+    else if (arg == "--quiet") quiet = true;
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage(2);
+    }
+  }
+
+  auto cfg = driver::paper_config(
+      jobs_file.empty() ? parse_batch(batch)
+                        : workload::load_jobs_csv(jobs_file),
+      parse_scheduler(scheduler), seed);
+  cfg.nodes = nodes;
+  cfg.racks = racks;
+  cfg.pna.p_min = pmin;
+  cfg.workload.replication = replication;
+  cfg.engine.fault.straggler_probability = straggler_p;
+  cfg.engine.fault.speculative_execution = speculation;
+  cfg.failures.cluster_mtbf = mtbf;
+  cfg.trace_path = trace_path;
+  if (placement == "random") {
+    cfg.workload.placement = dfs::PlacementPolicy::kRandom;
+  } else if (placement == "skewed") {
+    cfg.workload.placement = dfs::PlacementPolicy::kSkewed;
+  } else if (placement != "hdfs") {
+    std::fprintf(stderr, "unknown placement '%s'\n", placement.c_str());
+    usage(2);
+  }
+  if (distance == "hops") {
+    cfg.distance_mode = driver::DistanceMode::kHops;
+  } else if (distance == "inverse-rate") {
+    cfg.distance_mode = driver::DistanceMode::kInverseRate;
+  } else if (distance == "weighted") {
+    cfg.distance_mode = driver::DistanceMode::kWeightedPerLink;
+  } else if (distance == "load-aware") {
+    cfg.distance_mode = driver::DistanceMode::kLoadAware;
+  } else {
+    std::fprintf(stderr, "unknown distance '%s'\n", distance.c_str());
+    usage(2);
+  }
+
+  if (!quiet) {
+    std::printf("pnats_sim: %zu jobs | %zu nodes x %zu racks | "
+                "scheduler=%s seed=%llu\n",
+                cfg.jobs.size(), cfg.nodes, cfg.racks,
+                driver::to_string(cfg.scheduler),
+                static_cast<unsigned long long>(seed));
+  }
+  const auto result = driver::run_experiment(cfg);
+
+  RunningStats jct;
+  for (const auto& j : result.job_records) jct.add(j.completion_time());
+  const auto loc = metrics::locality_summary(result.task_records,
+                                             metrics::TaskFilter::kAll);
+  std::printf("%s: completed=%s jobs=%zu meanJCT=%.1fs makespan=%.1fs "
+              "local=%.1f%% map-util=%.1f%%\n",
+              result.scheduler_name.c_str(),
+              result.completed ? "yes" : "NO",
+              result.job_records.size(), jct.mean(), result.makespan,
+              loc.node_local_pct,
+              100.0 * result.utilization.map_utilization());
+
+  if (!quiet) {
+    for (const auto& j : result.job_records) {
+      std::printf("  %-18s %8.1fs\n", j.name.c_str(), j.completion_time());
+    }
+  }
+  if (!out_dir.empty()) {
+    driver::save_result(out_dir, "run", result);
+    std::printf("records saved under %s/run_*.csv\n", out_dir.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
+  return result.completed ? 0 : 1;
+}
