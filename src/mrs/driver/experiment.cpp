@@ -73,6 +73,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   dfs::BlockPlacer placer(&topo, root.split("placement"));
   std::vector<mapreduce::JobSpec> specs =
       workload::make_batch(cfg.jobs, store, placer, cfg.workload);
+  if (!cfg.submit_times.empty()) {
+    MRS_REQUIRE(cfg.submit_times.size() == specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      specs[i].submit_time = cfg.submit_times[i];
+    }
+  }
   if (cfg.emit_nonlinearity_override) {
     for (auto& spec : specs) {
       spec.emit_nonlinearity = *cfg.emit_nonlinearity_override;

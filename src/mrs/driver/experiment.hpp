@@ -76,6 +76,10 @@ struct ExperimentConfig {
   // --- workload ---
   workload::WorkloadConfig workload;
   std::vector<workload::JobDescription> jobs;
+  /// When non-empty, per-job submission times (same order/length as
+  /// `jobs`), overriding workload.submit_spacing. This is how open-loop
+  /// arrival streams enter the existing runner.
+  std::vector<Seconds> submit_times;
   /// When set, overrides every job's map-emission ramp exponent alpha
   /// (1.0 = linear; larger = back-loaded output). Stresses the Eq. 3
   /// estimator in the ablation benches.

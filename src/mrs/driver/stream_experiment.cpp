@@ -1,0 +1,44 @@
+#include "mrs/driver/stream_experiment.hpp"
+
+#include "mrs/common/check.hpp"
+
+namespace mrs::driver {
+
+std::vector<workload::Arrival> stream_arrivals(const StreamConfig& cfg) {
+  // Split off the root with a fixed, scheduler-independent label: paired
+  // runs differing only in the scheduler see byte-identical streams, and
+  // the label keeps this stream uncorrelated with the placement / cluster
+  // / engine streams run_experiment derives from the same root.
+  const Rng root(cfg.base.seed);
+  return workload::generate_arrivals(cfg.arrivals, root.split("arrivals"));
+}
+
+StreamResult run_stream_experiment(const StreamConfig& cfg) {
+  MRS_REQUIRE(cfg.warmup >= 0.0 && cfg.warmup < cfg.arrivals.duration);
+
+  StreamResult result;
+  result.arrivals = stream_arrivals(cfg);
+  MRS_REQUIRE(!result.arrivals.empty());
+
+  ExperimentConfig run_cfg = cfg.base;
+  run_cfg.jobs.clear();
+  run_cfg.submit_times.clear();
+  run_cfg.jobs.reserve(result.arrivals.size());
+  run_cfg.submit_times.reserve(result.arrivals.size());
+  for (const auto& a : result.arrivals) {
+    run_cfg.jobs.push_back(a.job);
+    run_cfg.submit_times.push_back(a.time);
+  }
+  result.run = run_experiment(run_cfg);
+
+  const metrics::Window window{cfg.warmup, cfg.arrivals.duration};
+  // Slot totals as the cluster was built (uniform node config).
+  const std::size_t map_slots = cfg.base.nodes * cfg.base.node.map_slots;
+  const std::size_t reduce_slots = cfg.base.nodes * cfg.base.node.reduce_slots;
+  result.steady = metrics::steady_state_summary(
+      result.run.job_records, result.run.task_records, window, map_slots,
+      reduce_slots);
+  return result;
+}
+
+}  // namespace mrs::driver

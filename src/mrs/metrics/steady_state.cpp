@@ -1,0 +1,91 @@
+#include "mrs/metrics/steady_state.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "mrs/common/check.hpp"
+#include "mrs/common/stats.hpp"
+
+namespace mrs::metrics {
+
+namespace {
+
+/// Length of the overlap of [a, b) with `w`.
+Seconds overlap(Seconds a, Seconds b, const Window& w) {
+  return std::max(0.0, std::min(b, w.end) - std::max(a, w.begin));
+}
+
+}  // namespace
+
+PercentileSummary summarize_percentiles(std::span<const double> sample) {
+  PercentileSummary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+  RunningStats stats;
+  for (double x : sample) stats.add(x);
+  s.mean = stats.mean();
+  s.max = stats.max();
+  s.p50 = percentile(sample, 0.50);
+  s.p95 = percentile(sample, 0.95);
+  s.p99 = percentile(sample, 0.99);
+  return s;
+}
+
+SteadyStateSummary steady_state_summary(
+    std::span<const mapreduce::JobRecord> jobs,
+    std::span<const mapreduce::TaskRecord> tasks, Window window,
+    std::size_t total_map_slots, std::size_t total_reduce_slots) {
+  MRS_REQUIRE(window.length() > 0.0);
+  SteadyStateSummary out;
+  out.window = window;
+  const Seconds len = window.length();
+  const double hours = len / 3600.0;
+
+  // Earliest assignment per job, over every attempt of every task.
+  std::unordered_map<std::size_t, Seconds> first_assignment;
+  for (const auto& t : tasks) {
+    auto [it, inserted] =
+        first_assignment.emplace(t.job.value(), t.assigned_at);
+    if (!inserted) it->second = std::min(it->second, t.assigned_at);
+  }
+
+  std::vector<double> response, delay;
+  double in_system_integral = 0.0;
+  double offered_bytes = 0.0;
+  for (const auto& j : jobs) {
+    in_system_integral += overlap(j.submit_time, j.finish_time, window);
+    if (window.contains(j.finish_time)) ++out.jobs_completed;
+    if (!window.contains(j.submit_time)) continue;
+    ++out.jobs_submitted;
+    offered_bytes += j.input_bytes;
+    response.push_back(j.completion_time());
+    if (auto it = first_assignment.find(j.id.value());
+        it != first_assignment.end()) {
+      delay.push_back(std::max(0.0, it->second - j.submit_time));
+    }
+  }
+  out.offered_jobs_per_hour = static_cast<double>(out.jobs_submitted) / hours;
+  out.throughput_jobs_per_hour =
+      static_cast<double>(out.jobs_completed) / hours;
+  out.offered_bytes_per_sec = offered_bytes / len;
+  out.response_time = summarize_percentiles(response);
+  out.queueing_delay = summarize_percentiles(delay);
+  out.mean_jobs_in_system = in_system_integral / len;
+
+  double map_busy = 0.0, reduce_busy = 0.0;
+  for (const auto& t : tasks) {
+    (t.is_map ? map_busy : reduce_busy) +=
+        overlap(t.assigned_at, t.finished_at, window);
+  }
+  if (total_map_slots > 0) {
+    out.map_slot_utilization =
+        map_busy / (len * static_cast<double>(total_map_slots));
+  }
+  if (total_reduce_slots > 0) {
+    out.reduce_slot_utilization =
+        reduce_busy / (len * static_cast<double>(total_reduce_slots));
+  }
+  return out;
+}
+
+}  // namespace mrs::metrics

@@ -1,0 +1,75 @@
+// Steady-state metrics for open-loop (streaming) experiments.
+//
+// A streaming run separates a warmup window (the system fills from empty)
+// from a measurement window; everything here is evaluated over the
+// measurement window only, so the numbers describe the stationary regime
+// rather than the transient: offered load vs goodput, response-time and
+// queueing-delay percentiles, time-average jobs in system (Little's L),
+// and slot utilization.
+#pragma once
+
+#include <span>
+
+#include "mrs/common/units.hpp"
+#include "mrs/mapreduce/records.hpp"
+
+namespace mrs::metrics {
+
+/// Half-open measurement window [begin, end).
+struct Window {
+  Seconds begin = 0.0;
+  Seconds end = 0.0;
+
+  [[nodiscard]] Seconds length() const { return end - begin; }
+  [[nodiscard]] bool contains(Seconds t) const {
+    return t >= begin && t < end;
+  }
+};
+
+/// Summary percentiles of one sample (times in seconds).
+struct PercentileSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] PercentileSummary summarize_percentiles(
+    std::span<const double> sample);
+
+struct SteadyStateSummary {
+  Window window;
+
+  // --- load balance: offered vs goodput ---
+  std::size_t jobs_submitted = 0;  ///< arrivals inside the window
+  std::size_t jobs_completed = 0;  ///< completions inside the window
+  double offered_jobs_per_hour = 0.0;
+  double throughput_jobs_per_hour = 0.0;  ///< goodput (completions / time)
+  BytesPerSec offered_bytes_per_sec = 0.0;  ///< input bytes arriving / s
+
+  // --- per-job latency (jobs submitted inside the window) ---
+  PercentileSummary response_time;  ///< submit -> finish
+  PercentileSummary queueing_delay;  ///< submit -> first task assignment
+
+  // --- occupancy over the window ---
+  /// Time-average number of in-system (submitted, unfinished) jobs —
+  /// Little's L; diverges past the saturation knee.
+  double mean_jobs_in_system = 0.0;
+  double map_slot_utilization = 0.0;
+  double reduce_slot_utilization = 0.0;
+};
+
+/// Aggregate engine records over `window`. Queueing delay joins task
+/// records to jobs by JobId (delay = earliest attempt assignment − submit);
+/// slot utilization credits each task's [assigned, finished) overlap with
+/// the window against `total_*_slots`. The engine emits records only for
+/// finished jobs, so feed this a drained run (the stream runner runs to
+/// drain); an undrained run undercounts submissions.
+[[nodiscard]] SteadyStateSummary steady_state_summary(
+    std::span<const mapreduce::JobRecord> jobs,
+    std::span<const mapreduce::TaskRecord> tasks, Window window,
+    std::size_t total_map_slots, std::size_t total_reduce_slots);
+
+}  // namespace mrs::metrics

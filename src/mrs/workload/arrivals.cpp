@@ -1,0 +1,215 @@
+#include "mrs/workload/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "mrs/common/check.hpp"
+#include "mrs/common/strfmt.hpp"
+
+namespace mrs::workload {
+
+using mapreduce::JobKind;
+
+bool operator==(const Arrival& a, const Arrival& b) {
+  return a.time == b.time && a.job.job_id == b.job.job_id &&
+         a.job.name == b.job.name && a.job.kind == b.job.kind &&
+         a.job.nominal_gb == b.job.nominal_gb &&
+         a.job.map_count == b.job.map_count &&
+         a.job.reduce_count == b.job.reduce_count;
+}
+
+namespace {
+
+/// Apply the mix's deterministic scaling and stochastic size jitter to a
+/// catalog entry. Counts are floored at 1 (a job always has work).
+JobDescription shape_job(const JobDescription& base, const JobMixConfig& mix,
+                         double size_multiplier) {
+  JobDescription d = base;
+  const double maps = static_cast<double>(base.map_count) *
+                      mix.map_count_scale * size_multiplier;
+  const double reduces =
+      static_cast<double>(base.reduce_count) * mix.reduce_count_scale;
+  d.map_count = static_cast<std::size_t>(std::max(1.0, std::round(maps)));
+  d.reduce_count =
+      static_cast<std::size_t>(std::max(1.0, std::round(reduces)));
+  d.nominal_gb = base.nominal_gb * mix.map_count_scale * size_multiplier;
+  return d;
+}
+
+/// Draw one job from the catalog mix. The kind is drawn by weight, the
+/// size rank within the kind's batch by Zipf (rank 0 = smallest input).
+JobDescription draw_job(const JobMixConfig& mix, Rng& rng) {
+  const double ww = std::max(0.0, mix.wordcount_weight);
+  const double tw = std::max(0.0, mix.terasort_weight);
+  const double gw = std::max(0.0, mix.grep_weight);
+  const double total = ww + tw + gw;
+  MRS_REQUIRE(total > 0.0);
+  const double u = rng.uniform01() * total;
+  const JobKind kind = u < ww             ? JobKind::kWordcount
+                       : u < ww + tw      ? JobKind::kTerasort
+                                          : JobKind::kGrep;
+  // table2_batch preserves catalog order, which is ascending nominal size.
+  const std::vector<JobDescription> batch = table2_batch(kind);
+  MRS_REQUIRE(!batch.empty());
+  const std::size_t rank = rng.zipf(batch.size(), mix.size_skew);
+  double multiplier = 1.0;
+  if (mix.size_jitter_sigma > 0.0) {
+    // Mean-1 lognormal: E[exp(N(mu, sigma^2))] = 1 for mu = -sigma^2/2.
+    const double sigma = mix.size_jitter_sigma;
+    multiplier = rng.lognormal(-0.5 * sigma * sigma, sigma);
+  }
+  return shape_job(batch[rank], mix, multiplier);
+}
+
+/// Homogeneous Poisson arrival times on [0, duration).
+std::vector<Seconds> poisson_times(double rate_per_hour, Seconds duration,
+                                   Rng& rng) {
+  std::vector<Seconds> times;
+  const double mean_gap = 3600.0 / rate_per_hour;
+  for (Seconds t = rng.exponential(mean_gap); t < duration;
+       t += rng.exponential(mean_gap)) {
+    times.push_back(t);
+  }
+  return times;
+}
+
+/// 2-state MMPP arrival times on [0, duration). Within a state arrivals
+/// are Poisson at the state rate; the memoryless property lets us redraw
+/// the inter-arrival gap after each state switch.
+std::vector<Seconds> mmpp_times(const ArrivalConfig& cfg, Rng& rng) {
+  std::vector<Seconds> times;
+  bool burst = false;
+  Seconds t = 0.0;
+  Seconds next_switch = rng.exponential(cfg.mmpp.mean_calm_sojourn);
+  while (t < cfg.duration) {
+    const double rate =
+        cfg.rate_per_hour * (burst ? cfg.mmpp.burst_rate_multiplier : 1.0);
+    const Seconds gap = rng.exponential(3600.0 / rate);
+    if (t + gap < next_switch) {
+      t += gap;
+      if (t < cfg.duration) times.push_back(t);
+    } else {
+      t = next_switch;
+      burst = !burst;
+      next_switch = t + rng.exponential(burst ? cfg.mmpp.mean_burst_sojourn
+                                              : cfg.mmpp.mean_calm_sojourn);
+    }
+  }
+  return times;
+}
+
+}  // namespace
+
+std::vector<Arrival> generate_arrivals(const ArrivalConfig& cfg,
+                                       const Rng& rng) {
+  MRS_REQUIRE(cfg.duration > 0.0);
+  if (cfg.process == ArrivalProcess::kTrace) {
+    std::vector<Arrival> arrivals = load_arrival_trace(cfg.trace_path);
+    std::erase_if(arrivals,
+                  [&](const Arrival& a) { return a.time >= cfg.duration; });
+    return arrivals;
+  }
+
+  MRS_REQUIRE(cfg.rate_per_hour > 0.0);
+  // Times and mix come from separate child streams so changing the mix
+  // never perturbs the arrival clock (and vice versa).
+  Rng time_rng = rng.split("arrival-times");
+  Rng mix_rng = rng.split("arrival-mix");
+  const std::vector<Seconds> times =
+      cfg.process == ArrivalProcess::kPoisson
+          ? poisson_times(cfg.rate_per_hour, cfg.duration, time_rng)
+          : mmpp_times(cfg, time_rng);
+
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    Arrival a;
+    a.time = times[i];
+    a.job = draw_job(cfg.mix, mix_rng);
+    a.job.job_id = strf("%zu", i + 1);
+    a.job.name += strf("#%04zu", i + 1);  // unique, pairable across runs
+    arrivals.push_back(std::move(a));
+  }
+  return arrivals;
+}
+
+std::vector<Arrival> load_arrival_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_arrival_trace: cannot open " + path);
+  }
+  std::vector<Arrival> arrivals;
+  std::string line;
+  bool header_skipped = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    if (!header_skipped) {
+      header_skipped = true;  // first non-comment line is the header
+      continue;
+    }
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream ss(line);
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    if (fields.size() != 5) {
+      throw std::runtime_error(
+          strf("load_arrival_trace: %s:%zu: expected "
+               "time,name,kind,maps,reduces",
+               path.c_str(), line_no));
+    }
+    Arrival a;
+    a.time = std::stod(fields[0]);
+    a.job.name = fields[1];
+    if (fields[2] == "Wordcount") a.job.kind = JobKind::kWordcount;
+    else if (fields[2] == "Terasort") a.job.kind = JobKind::kTerasort;
+    else if (fields[2] == "Grep") a.job.kind = JobKind::kGrep;
+    else if (fields[2] == "Custom") a.job.kind = JobKind::kCustom;
+    else {
+      throw std::runtime_error(strf("load_arrival_trace: %s:%zu: unknown "
+                                    "kind '%s'",
+                                    path.c_str(), line_no,
+                                    fields[2].c_str()));
+    }
+    a.job.map_count = std::stoul(fields[3]);
+    a.job.reduce_count = std::stoul(fields[4]);
+    if (a.time < 0.0 || a.job.map_count == 0 || a.job.reduce_count == 0) {
+      throw std::runtime_error(strf("load_arrival_trace: %s:%zu: time must "
+                                    "be >= 0 and counts positive",
+                                    path.c_str(), line_no));
+    }
+    arrivals.push_back(std::move(a));
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     return a.time < b.time;
+                   });
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    arrivals[i].job.job_id = strf("%zu", i + 1);
+  }
+  return arrivals;
+}
+
+void save_arrival_trace(const std::string& path,
+                        std::span<const Arrival> arrivals) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_arrival_trace: cannot open " + path);
+  }
+  out << "time,name,kind,maps,reduces\n";
+  for (const Arrival& a : arrivals) {
+    out << strf("%.17g,%s,%s,%zu,%zu\n", a.time, a.job.name.c_str(),
+                mapreduce::to_string(a.job.kind), a.job.map_count,
+                a.job.reduce_count);
+  }
+  if (!out) {
+    throw std::runtime_error("save_arrival_trace: write failed for " + path);
+  }
+}
+
+}  // namespace mrs::workload

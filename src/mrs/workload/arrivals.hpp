@@ -1,0 +1,109 @@
+// Open-loop arrival generation for streaming (steady-state) experiments.
+//
+// The closed Table II batches measure makespan; an open-loop stream measures
+// queueing behaviour under sustained offered load — throughput, response
+// time, and the saturation knee of each scheduler. Arrivals are pre-drawn
+// from a stochastic process (Poisson, 2-state MMPP, or a CSV trace) and a
+// job-mix sampler over the Table II catalog, then submitted at their drawn
+// times.
+//
+// Determinism contract: the generated sequence depends only on
+// (rng stream, config) — never on the scheduler under test — so paired
+// scheduler runs see byte-identical arrival streams, extending the Fig. 5
+// pairing contract to the streaming regime.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mrs/common/rng.hpp"
+#include "mrs/common/units.hpp"
+#include "mrs/workload/table2.hpp"
+
+namespace mrs::workload {
+
+enum class ArrivalProcess {
+  kPoisson,  ///< homogeneous Poisson arrivals at `rate_per_hour`
+  kMmpp,     ///< 2-state Markov-modulated Poisson (calm/burst) arrivals
+  kTrace,    ///< replay a CSV trace (time,name,kind,maps,reduces)
+};
+
+[[nodiscard]] constexpr const char* to_string(ArrivalProcess p) {
+  switch (p) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kMmpp: return "mmpp";
+    case ArrivalProcess::kTrace: return "trace";
+  }
+  return "?";
+}
+
+/// How the job-mix sampler draws from the Table II catalog.
+struct JobMixConfig {
+  /// Relative draw weight per application kind (>= 0, not all zero).
+  double wordcount_weight = 1.0;
+  double terasort_weight = 1.0;
+  double grep_weight = 1.0;
+  /// Zipf exponent over a kind's catalog entries ordered by size: 0 draws
+  /// input sizes uniformly, larger values favour small jobs — the
+  /// many-small/few-huge heavy tail of production traces.
+  double size_skew = 1.0;
+  /// Lognormal sigma of a per-job input-size multiplier (mean-1, applied
+  /// to the map count). 0 = use the catalog counts verbatim.
+  double size_jitter_sigma = 0.0;
+  /// Deterministic scale on map / reduce counts (e.g. 0.1 shrinks every
+  /// job 10x so sweeps and tests run fast while keeping the mix shape).
+  double map_count_scale = 1.0;
+  double reduce_count_scale = 1.0;
+};
+
+/// 2-state MMPP: a calm state at `rate_per_hour` and a burst state at
+/// `burst_rate_multiplier` times that, with exponentially distributed
+/// sojourns. Same mean behaviour as Poisson at the time-averaged rate but
+/// bursty at sojourn timescales.
+struct MmppConfig {
+  double burst_rate_multiplier = 4.0;
+  Seconds mean_calm_sojourn = 600.0;
+  Seconds mean_burst_sojourn = 120.0;
+};
+
+struct ArrivalConfig {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  /// Mean arrival rate of the calm/base state, in jobs per hour.
+  double rate_per_hour = 60.0;
+  /// Arrival horizon: no arrivals are generated at or after this time.
+  Seconds duration = 3600.0;
+  MmppConfig mmpp;
+  JobMixConfig mix;
+  /// CSV file to replay when process == kTrace.
+  std::string trace_path;
+};
+
+/// One pre-drawn arrival: a catalog-derived job entering at `time`.
+struct Arrival {
+  Seconds time = 0.0;
+  JobDescription job;
+};
+
+[[nodiscard]] bool operator==(const Arrival& a, const Arrival& b);
+
+/// Draw the full arrival sequence for `cfg` from `rng`. Arrivals are
+/// sorted by time; job names are suffixed "#<seq>" so every arrival is
+/// uniquely identifiable (and pairable across schedulers). For kTrace the
+/// file is loaded and entries beyond cfg.duration are dropped.
+[[nodiscard]] std::vector<Arrival> generate_arrivals(const ArrivalConfig& cfg,
+                                                     const Rng& rng);
+
+/// Load an arrival trace CSV with a header row of
+///   time,name,kind,maps,reduces
+/// (kind is Wordcount | Terasort | Grep | Custom). Lines starting with '#'
+/// and blank lines are skipped; rows are sorted by time on load. Throws
+/// std::runtime_error on unreadable files or malformed rows.
+[[nodiscard]] std::vector<Arrival> load_arrival_trace(
+    const std::string& path);
+
+/// Write `arrivals` in the load_arrival_trace format (round-trips).
+void save_arrival_trace(const std::string& path,
+                        std::span<const Arrival> arrivals);
+
+}  // namespace mrs::workload

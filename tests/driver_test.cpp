@@ -94,6 +94,79 @@ TEST(Driver, ParallelMatchesSerial) {
   }
 }
 
+TEST(Driver, ParallelByteIdenticalToSerial) {
+  // The stream harness sweeps (scheduler, rate) grids through
+  // run_experiments; the determinism contract it relies on is stronger
+  // than "same makespan": every record field must match the serial run
+  // exactly, bit for bit.
+  std::vector<ExperimentConfig> cfgs = {
+      tiny_config(SchedulerKind::kFifo, 11),
+      tiny_config(SchedulerKind::kFair, 11),
+      tiny_config(SchedulerKind::kCoupling, 11),
+      tiny_config(SchedulerKind::kLarts, 11),
+      tiny_config(SchedulerKind::kMinCost, 11),
+      tiny_config(SchedulerKind::kPna, 11),
+      tiny_config(SchedulerKind::kPna, 12),
+      tiny_config(SchedulerKind::kPna, 13),
+  };
+  const auto parallel = run_experiments(cfgs);
+  ASSERT_EQ(parallel.size(), cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const auto serial = run_experiment(cfgs[i]);
+    const auto& p = parallel[i];
+    ASSERT_EQ(p.task_records.size(), serial.task_records.size());
+    for (std::size_t t = 0; t < p.task_records.size(); ++t) {
+      const auto& a = p.task_records[t];
+      const auto& b = serial.task_records[t];
+      EXPECT_EQ(a.job, b.job);
+      EXPECT_EQ(a.is_map, b.is_map);
+      EXPECT_EQ(a.index, b.index);
+      EXPECT_EQ(a.node, b.node);
+      EXPECT_EQ(a.locality, b.locality);
+      EXPECT_EQ(a.assigned_at, b.assigned_at);    // exact, not approximate
+      EXPECT_EQ(a.finished_at, b.finished_at);
+      EXPECT_EQ(a.placement_cost, b.placement_cost);
+      EXPECT_EQ(a.network_bytes, b.network_bytes);
+      EXPECT_EQ(a.attempts, b.attempts);
+    }
+    ASSERT_EQ(p.job_records.size(), serial.job_records.size());
+    for (std::size_t j = 0; j < p.job_records.size(); ++j) {
+      const auto& a = p.job_records[j];
+      const auto& b = serial.job_records[j];
+      EXPECT_EQ(a.id, b.id);
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.input_bytes, b.input_bytes);
+      EXPECT_EQ(a.shuffle_bytes, b.shuffle_bytes);
+      EXPECT_EQ(a.submit_time, b.submit_time);
+      EXPECT_EQ(a.finish_time, b.finish_time);
+    }
+    EXPECT_EQ(p.makespan, serial.makespan);
+    EXPECT_EQ(p.events_processed, serial.events_processed);
+    EXPECT_EQ(p.utilization.map_slot_seconds_busy,
+              serial.utilization.map_slot_seconds_busy);
+    EXPECT_EQ(p.utilization.reduce_slot_seconds_busy,
+              serial.utilization.reduce_slot_seconds_busy);
+    EXPECT_EQ(p.utilization.span, serial.utilization.span);
+  }
+}
+
+TEST(Driver, SubmitTimesOverrideSpacing) {
+  ExperimentConfig cfg = tiny_config(SchedulerKind::kFifo, 6);
+  cfg.submit_times = {0.0, 40.0, 95.0};
+  const auto result = run_experiment(cfg);
+  ASSERT_TRUE(result.completed);
+  ASSERT_EQ(result.job_records.size(), 3u);
+  for (const auto& j : result.job_records) {
+    if (j.name == "Wordcount_tiny") {
+      EXPECT_DOUBLE_EQ(j.submit_time, 0.0);
+    } else if (j.name == "Terasort_tiny") {
+      EXPECT_DOUBLE_EQ(j.submit_time, 40.0);
+    } else {
+      EXPECT_DOUBLE_EQ(j.submit_time, 95.0);
+    }
+  }
+}
+
 TEST(Driver, MultiRackTopology) {
   ExperimentConfig cfg = tiny_config(SchedulerKind::kPna);
   cfg.racks = 2;

@@ -1,0 +1,128 @@
+// Tests for the steady-state metrics aggregation: windowing rules,
+// percentile summaries, queueing-delay join, occupancy and utilization —
+// on hand-built records with known answers.
+#include <gtest/gtest.h>
+
+#include "mrs/metrics/steady_state.hpp"
+
+namespace mrs::metrics {
+namespace {
+
+using mapreduce::JobRecord;
+using mapreduce::TaskRecord;
+
+JobRecord job(std::size_t id, Seconds submit, Seconds finish,
+              Bytes input = 0.0) {
+  JobRecord j;
+  j.id = JobId(id);
+  j.name = "job" + std::to_string(id);
+  j.submit_time = submit;
+  j.finish_time = finish;
+  j.input_bytes = input;
+  return j;
+}
+
+TaskRecord task(std::size_t job_id, bool is_map, Seconds assigned,
+                Seconds finished) {
+  TaskRecord t;
+  t.job = JobId(job_id);
+  t.is_map = is_map;
+  t.assigned_at = assigned;
+  t.finished_at = finished;
+  return t;
+}
+
+TEST(SteadyState, WindowContainsHalfOpen) {
+  const Window w{10.0, 110.0};
+  EXPECT_TRUE(w.contains(10.0));
+  EXPECT_TRUE(w.contains(109.9));
+  EXPECT_FALSE(w.contains(110.0));
+  EXPECT_FALSE(w.contains(9.9));
+  EXPECT_DOUBLE_EQ(w.length(), 100.0);
+}
+
+TEST(SteadyState, PercentileSummaryKnownValues) {
+  const std::vector<double> sample = {30.0, 150.0};
+  const auto s = summarize_percentiles(sample);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 90.0);
+  EXPECT_DOUBLE_EQ(s.p50, 90.0);  // linear interpolation between the two
+  EXPECT_DOUBLE_EQ(s.max, 150.0);
+  EXPECT_GT(s.p99, s.p50);
+
+  const auto empty = summarize_percentiles({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+TEST(SteadyState, CountsAndLatenciesWindowed) {
+  // Window [10, 110), length 100 s.
+  //  job 1: submitted 20, finished 50  -> submitted + completed in window
+  //  job 2: submitted 5,  finished 30  -> completed only (warmup arrival)
+  //  job 3: submitted 50, finished 200 -> submitted only (drains later)
+  const std::vector<JobRecord> jobs = {
+      job(1, 20.0, 50.0, 1000.0),
+      job(2, 5.0, 30.0, 500.0),
+      job(3, 50.0, 200.0, 3000.0),
+  };
+  const std::vector<TaskRecord> tasks = {
+      task(1, true, 21.0, 40.0),   // job 1 first assignment -> delay 1
+      task(1, false, 30.0, 50.0),
+      task(2, true, 6.0, 30.0),
+      task(3, true, 62.0, 150.0),  // job 3 first assignment -> delay 12
+  };
+  const auto s = steady_state_summary(jobs, tasks, Window{10.0, 110.0},
+                                      /*total_map_slots=*/10,
+                                      /*total_reduce_slots=*/5);
+  EXPECT_EQ(s.jobs_submitted, 2u);   // jobs 1 and 3
+  EXPECT_EQ(s.jobs_completed, 2u);   // jobs 1 and 2
+  EXPECT_DOUBLE_EQ(s.offered_jobs_per_hour, 2.0 / (100.0 / 3600.0));
+  EXPECT_DOUBLE_EQ(s.throughput_jobs_per_hour, 2.0 / (100.0 / 3600.0));
+  EXPECT_DOUBLE_EQ(s.offered_bytes_per_sec, (1000.0 + 3000.0) / 100.0);
+
+  // Response times of submitted-in-window jobs: {30, 150}.
+  EXPECT_EQ(s.response_time.count, 2u);
+  EXPECT_DOUBLE_EQ(s.response_time.mean, 90.0);
+  EXPECT_DOUBLE_EQ(s.response_time.p50, 90.0);
+  // Queueing delays: {1, 12}.
+  EXPECT_EQ(s.queueing_delay.count, 2u);
+  EXPECT_DOUBLE_EQ(s.queueing_delay.mean, 6.5);
+  EXPECT_DOUBLE_EQ(s.queueing_delay.max, 12.0);
+
+  // In-system integral: job1 overlap 30 + job2 overlap 20 + job3 overlap
+  // 60 = 110 -> L = 1.1.
+  EXPECT_DOUBLE_EQ(s.mean_jobs_in_system, 1.1);
+
+  // Map busy overlap: task1 [21,40)=19, task3 [10,30)=20, task4
+  // [62,110)=48 -> 87 / (100*10). Reduce: task2 [30,50)=20 / (100*5).
+  EXPECT_DOUBLE_EQ(s.map_slot_utilization, 87.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(s.reduce_slot_utilization, 20.0 / 500.0);
+}
+
+TEST(SteadyState, QueueingDelayUsesEarliestAttempt) {
+  // Two attempts of the same job's tasks: the earliest assignment wins,
+  // and a pre-submit clock skew clamps to zero.
+  const std::vector<JobRecord> jobs = {job(1, 20.0, 90.0)};
+  const std::vector<TaskRecord> tasks = {
+      task(1, true, 45.0, 60.0),
+      task(1, true, 25.0, 70.0),
+  };
+  const auto s = steady_state_summary(jobs, tasks, Window{0.0, 100.0}, 4, 2);
+  EXPECT_EQ(s.queueing_delay.count, 1u);
+  EXPECT_DOUBLE_EQ(s.queueing_delay.mean, 5.0);  // 25 - 20
+}
+
+TEST(SteadyState, EmptyWindowedRecords) {
+  // Records entirely outside the window: zero counts, zero utilization.
+  const std::vector<JobRecord> jobs = {job(1, 200.0, 250.0)};
+  const std::vector<TaskRecord> tasks = {task(1, true, 210.0, 240.0)};
+  const auto s = steady_state_summary(jobs, tasks, Window{0.0, 100.0}, 4, 2);
+  EXPECT_EQ(s.jobs_submitted, 0u);
+  EXPECT_EQ(s.jobs_completed, 0u);
+  EXPECT_DOUBLE_EQ(s.map_slot_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_jobs_in_system, 0.0);
+  EXPECT_EQ(s.response_time.count, 0u);
+}
+
+}  // namespace
+}  // namespace mrs::metrics

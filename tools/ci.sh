@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Single-entry CI pipeline:
+#   1. tier-1: configure + build + ctest (the gate every change must pass)
+#   2. ASan/UBSan build of the test suite (PNATS_SANITIZE=asan), catching
+#      memory and UB bugs the plain build cannot
+#   3. optional: TSAN=1 ./tools/ci.sh adds a TSan pass over the threaded
+#      run_experiments / stream-sweep paths
+#
+# Run from the repository root: ./tools/ci.sh
+# Build trees: build/ (tier-1), build-asan/, build-tsan/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+GENERATOR=()
+command -v ninja >/dev/null 2>&1 && GENERATOR=(-G Ninja)
+
+echo "==> tier-1: configure + build + ctest"
+cmake -B build -S . "${GENERATOR[@]}"
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> sanitizer pass: ASan/UBSan test suite"
+cmake -B build-asan -S . "${GENERATOR[@]}" \
+  -DPNATS_SANITIZE=asan \
+  -DPNATS_BUILD_BENCH=OFF -DPNATS_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+if [[ "${TSAN:-0}" != "0" ]]; then
+  echo "==> sanitizer pass: TSan test suite"
+  cmake -B build-tsan -S . "${GENERATOR[@]}" \
+    -DPNATS_SANITIZE=tsan \
+    -DPNATS_BUILD_BENCH=OFF -DPNATS_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j "$JOBS"
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+fi
+
+echo "==> ci: all passes green"

@@ -25,6 +25,18 @@
 //     --trace FILE        write an execution trace CSV
 //     --quiet             summary line only
 //     --help
+//
+//   Open-loop streaming mode (steady-state metrics instead of a batch):
+//     --arrivals NAME     poisson|mmpp|trace — submit an open-loop job
+//                         stream drawn from the Table II catalog instead
+//                         of replaying a closed batch
+//     --rate X            mean arrival rate in jobs/hour (default 60)
+//     --duration S        arrival horizon in sim-seconds (default 3600)
+//     --warmup S          measurement window start (default duration/6)
+//     --arrival-trace F   CSV (time,name,kind,maps,reduces) to replay
+//                         when --arrivals trace
+//     --job-scale X       scale catalog map/reduce counts by X (quick
+//                         sweeps; default 1.0)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +44,7 @@
 
 #include "mrs/driver/experiment.hpp"
 #include "mrs/driver/result_io.hpp"
+#include "mrs/driver/stream_experiment.hpp"
 #include "mrs/metrics/summary.hpp"
 
 namespace {
@@ -46,7 +59,10 @@ using namespace mrs;
       "                 [--placement hdfs|random|skewed]\n"
       "                 [--distance hops|inverse-rate|weighted|load-aware]\n"
       "                 [--straggler-p X] [--speculation] [--mtbf SECONDS]\n"
-      "                 [--out DIR] [--trace FILE] [--quiet]\n",
+      "                 [--out DIR] [--trace FILE] [--quiet]\n"
+      "                 [--arrivals poisson|mmpp|trace] [--rate JOBS/H]\n"
+      "                 [--duration S] [--warmup S] [--arrival-trace CSV]\n"
+      "                 [--job-scale X]\n",
       code == 0 ? stdout : stderr);
   std::exit(code);
 }
@@ -88,9 +104,11 @@ int main(int argc, char** argv) {
   std::string placement = "hdfs";
   std::string distance = "load-aware";
   std::string out_dir, trace_path, jobs_file;
+  std::string arrivals_mode, arrival_trace;
   std::size_t nodes = 60, racks = 1, replication = 2;
   std::uint64_t seed = 42;
   double pmin = 0.4, straggler_p = 0.0, mtbf = 0.0;
+  double rate = 60.0, duration = 3600.0, warmup = -1.0, job_scale = 1.0;
   bool speculation = false, quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -115,6 +133,12 @@ int main(int argc, char** argv) {
     else if (arg == "--mtbf") mtbf = std::stod(next());
     else if (arg == "--out") out_dir = next();
     else if (arg == "--trace") trace_path = next();
+    else if (arg == "--arrivals") arrivals_mode = next();
+    else if (arg == "--rate") rate = std::stod(next());
+    else if (arg == "--duration") duration = std::stod(next());
+    else if (arg == "--warmup") warmup = std::stod(next());
+    else if (arg == "--arrival-trace") arrival_trace = next();
+    else if (arg == "--job-scale") job_scale = std::stod(next());
     else if (arg == "--quiet") quiet = true;
     else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
@@ -153,6 +177,86 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "unknown distance '%s'\n", distance.c_str());
     usage(2);
+  }
+
+  if (!arrivals_mode.empty()) {
+    driver::StreamConfig scfg;
+    scfg.base = cfg;
+    if (arrivals_mode == "poisson") {
+      scfg.arrivals.process = workload::ArrivalProcess::kPoisson;
+    } else if (arrivals_mode == "mmpp") {
+      scfg.arrivals.process = workload::ArrivalProcess::kMmpp;
+    } else if (arrivals_mode == "trace") {
+      scfg.arrivals.process = workload::ArrivalProcess::kTrace;
+      if (arrival_trace.empty()) {
+        std::fputs("--arrivals trace requires --arrival-trace FILE\n",
+                   stderr);
+        usage(2);
+      }
+      scfg.arrivals.trace_path = arrival_trace;
+    } else {
+      std::fprintf(stderr, "unknown arrival process '%s'\n",
+                   arrivals_mode.c_str());
+      usage(2);
+    }
+    if (duration <= 0.0) {
+      std::fputs("--duration must be > 0\n", stderr);
+      usage(2);
+    }
+    if (arrivals_mode != "trace" && rate <= 0.0) {
+      std::fputs("--rate must be > 0 jobs/hour\n", stderr);
+      usage(2);
+    }
+    if (warmup >= duration) {
+      std::fputs("--warmup must be < --duration\n", stderr);
+      usage(2);
+    }
+    if (job_scale <= 0.0) {
+      std::fputs("--job-scale must be > 0\n", stderr);
+      usage(2);
+    }
+    scfg.arrivals.rate_per_hour = rate;
+    scfg.arrivals.duration = duration;
+    scfg.arrivals.mix.map_count_scale = job_scale;
+    scfg.arrivals.mix.reduce_count_scale = job_scale;
+    scfg.warmup = warmup < 0.0 ? duration / 6.0 : warmup;
+
+    if (!quiet) {
+      std::printf("pnats_sim: open-loop %s stream | %.1f jobs/h over %.0fs "
+                  "(warmup %.0fs) | %zu nodes x %zu racks | scheduler=%s "
+                  "seed=%llu\n",
+                  arrivals_mode.c_str(), rate, duration, scfg.warmup, nodes,
+                  racks, driver::to_string(cfg.scheduler),
+                  static_cast<unsigned long long>(seed));
+    }
+    const auto stream = driver::run_stream_experiment(scfg);
+    const auto& ss = stream.steady;
+    std::printf("%s: drained=%s arrivals=%zu makespan=%.1fs\n",
+                stream.run.scheduler_name.c_str(),
+                stream.run.completed ? "yes" : "NO",
+                stream.arrivals.size(), stream.run.makespan);
+    std::printf("steady-state [%.0fs, %.0fs): offered=%.1f jobs/h "
+                "goodput=%.1f jobs/h (%.1f MiB/s offered)\n",
+                ss.window.begin, ss.window.end, ss.offered_jobs_per_hour,
+                ss.throughput_jobs_per_hour,
+                units::to_MiB(ss.offered_bytes_per_sec));
+    std::printf("  response  p50=%.1fs p95=%.1fs p99=%.1fs mean=%.1fs "
+                "(n=%zu)\n",
+                ss.response_time.p50, ss.response_time.p95,
+                ss.response_time.p99, ss.response_time.mean,
+                ss.response_time.count);
+    std::printf("  queueing  p50=%.1fs p95=%.1fs p99=%.1fs mean=%.1fs\n",
+                ss.queueing_delay.p50, ss.queueing_delay.p95,
+                ss.queueing_delay.p99, ss.queueing_delay.mean);
+    std::printf("  occupancy L=%.2f jobs | map-util=%.1f%% "
+                "reduce-util=%.1f%%\n",
+                ss.mean_jobs_in_system, 100.0 * ss.map_slot_utilization,
+                100.0 * ss.reduce_slot_utilization);
+    if (!out_dir.empty()) {
+      driver::save_result(out_dir, "stream", stream.run);
+      std::printf("records saved under %s/stream_*.csv\n", out_dir.c_str());
+    }
+    return stream.run.completed ? 0 : 1;
   }
 
   if (!quiet) {
