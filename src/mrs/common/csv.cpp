@@ -1,6 +1,7 @@
 #include "mrs/common/csv.hpp"
 
 #include "mrs/common/strfmt.hpp"
+#include <sstream>
 #include <stdexcept>
 
 #include "mrs/common/check.hpp"
@@ -48,6 +49,51 @@ void CsvWriter::row_values(std::initializer_list<double> values) {
   fields.reserve(values.size());
   for (double v : values) fields.push_back(strf("%.6g", v));
   row(fields);
+}
+
+bool CsvReader::row(std::vector<std::string>& fields) {
+  fields.clear();
+  std::string field;
+  bool quoted = false;
+  bool any = false;
+  int c;
+  while ((c = in_->get()) != std::istream::traits_type::eof()) {
+    const char ch = static_cast<char>(c);
+    any = true;
+    if (quoted) {
+      if (ch == '"') {
+        if (in_->peek() == '"') {
+          in_->get();
+          field += '"';  // doubled quote -> literal quote
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += ch;  // commas and newlines are data inside quotes
+      }
+    } else if (ch == '"') {
+      quoted = true;
+    } else if (ch == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      fields.push_back(std::move(field));
+      return true;
+    } else if (ch != '\r') {
+      field += ch;
+    }
+  }
+  if (!any) return false;  // exhausted (or final trailing newline)
+  fields.push_back(std::move(field));
+  return true;
+}
+
+std::vector<std::string> CsvReader::split_line(const std::string& line) {
+  std::istringstream in(line);
+  CsvReader reader(in);
+  std::vector<std::string> fields;
+  if (!reader.row(fields)) fields.clear();
+  return fields;
 }
 
 }  // namespace mrs

@@ -1,9 +1,11 @@
-// Tiny CSV writer used by the bench harness to persist figure/table data
-// next to the human-readable stdout output.
+// Tiny CSV writer/reader pair used by the bench harness and result/trace
+// persistence. The reader inverts CsvWriter::escape exactly: quoted fields
+// may contain commas, doubled quotes and embedded newlines.
 #pragma once
 
 #include <fstream>
 #include <initializer_list>
+#include <istream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,6 +39,27 @@ class CsvWriter {
   std::ofstream out_;
   std::size_t columns_;
   std::size_t rows_ = 0;
+};
+
+/// Streaming CSV reader for files written by CsvWriter. Unlike a
+/// getline-then-split loop it parses records, not physical lines, so a
+/// quoted field may span lines (embedded '\n'). '\r' outside quotes is
+/// ignored, making CRLF input equivalent to LF.
+class CsvReader {
+ public:
+  /// Reads from `in`, which must outlive the reader.
+  explicit CsvReader(std::istream& in) : in_(&in) {}
+
+  /// Parses the next record into `fields` (replacing its content).
+  /// Returns false once the input is exhausted.
+  bool row(std::vector<std::string>& fields);
+
+  /// Convenience: parse one complete record held in a string.
+  [[nodiscard]] static std::vector<std::string> split_line(
+      const std::string& line);
+
+ private:
+  std::istream* in_;
 };
 
 }  // namespace mrs

@@ -15,6 +15,31 @@ PnaScheduler::PnaScheduler(PnaConfig cfg, Rng rng)
   MRS_REQUIRE(cfg_.p_min >= 0.0 && cfg_.p_min < 1.0);
 }
 
+void PnaScheduler::set_telemetry(telemetry::Registry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  telemetry::Registry& r = *registry;
+  metrics_.map_attempts = &r.counter("pna.map.attempts");
+  metrics_.map_candidates = &r.counter("pna.map.candidates_scanned");
+  metrics_.map_cost_evals = &r.counter("pna.map.cost_evals");
+  metrics_.map_local_fastpath = &r.counter("pna.map.local_fastpath");
+  metrics_.map_pmin_skips = &r.counter("pna.map.pmin_skips");
+  metrics_.map_bernoulli_rejects = &r.counter("pna.map.bernoulli_rejects");
+  metrics_.reduce_attempts = &r.counter("pna.reduce.attempts");
+  metrics_.reduce_candidates = &r.counter("pna.reduce.candidates_scanned");
+  metrics_.reduce_cost_evals = &r.counter("pna.reduce.cost_evals");
+  metrics_.reduce_pmin_skips = &r.counter("pna.reduce.pmin_skips");
+  metrics_.reduce_bernoulli_rejects =
+      &r.counter("pna.reduce.bernoulli_rejects");
+  // 21 buckets of 0.05: the last bucket [1.0, 1.05) isolates draws with
+  // P exactly 1 (zero-cost placements outside the local fast path).
+  metrics_.map_p = &r.histogram("pna.map.p", 0.0, 1.05, 21);
+  metrics_.reduce_p = &r.histogram("pna.reduce.p", 0.0, 1.05, 21);
+  metrics_.score_wall = &r.timer("pna.score_wall");
+}
+
 void PnaScheduler::on_heartbeat(Engine& engine, NodeId node) {
   // Map slots: walk jobs in policy order; a failed attempt (skip or lost
   // Bernoulli draw) moves on to the next job, so one bad fit doesn't idle
@@ -55,6 +80,7 @@ void PnaScheduler::on_heartbeat(Engine& engine, NodeId node) {
 
 bool PnaScheduler::schedule_map(Engine& engine, JobRun& job, NodeId node) {
   ++map_attempts_;
+  telemetry::inc(metrics_.map_attempts);
 
   // Fast path: a task with a local replica has cost 0 and therefore P = 1,
   // the maximum any candidate can reach — assign it outright (Sec. II-C:
@@ -62,6 +88,7 @@ bool PnaScheduler::schedule_map(Engine& engine, JobRun& job, NodeId node) {
   {
     const std::size_t local = job.next_local_map(node);
     if (local < job.map_count()) {
+      telemetry::inc(metrics_.map_local_fastpath);
       engine.assign_map(job, local, node);
       return true;
     }
@@ -73,34 +100,47 @@ bool PnaScheduler::schedule_map(Engine& engine, JobRun& job, NodeId node) {
 
   double best_p = -1.0;
   std::size_t best_task = job.map_count();
+  std::uint64_t candidates = 0;
   const bool cached = job.has_static_costs();
-  for (std::size_t j = 0; j < job.map_count(); ++j) {
-    if (job.map_state(j).phase != mapreduce::MapPhase::kUnassigned) continue;
-    double c_ij, c_sum = 0.0;
-    if (cached) {
-      // B_j scales cost and average identically, so it cancels out of the
-      // ratio C_ave / C_ij — work with raw distances.
-      c_ij = job.static_min_distance(j, node);                  // Line 4
-      for (NodeId k : n_m) c_sum += job.static_min_distance(j, k);
-    } else {
-      c_ij = engine.map_cost(job, j, node);                     // Line 4
-      for (NodeId k : n_m) c_sum += engine.map_cost(job, j, k); // Line 6
-    }
-    const double c_ave = c_sum / static_cast<double>(n_m.size());
-    const double p = assignment_probability(c_ij, c_ave, cfg_.model);
-    if (p > best_p) {
-      best_p = p;
-      best_task = j;
+  {
+    telemetry::ScopedTimer score_timer(metrics_.score_wall);
+    for (std::size_t j = 0; j < job.map_count(); ++j) {
+      if (job.map_state(j).phase != mapreduce::MapPhase::kUnassigned) {
+        continue;
+      }
+      ++candidates;
+      double c_ij, c_sum = 0.0;
+      if (cached) {
+        // B_j scales cost and average identically, so it cancels out of the
+        // ratio C_ave / C_ij — work with raw distances.
+        c_ij = job.static_min_distance(j, node);                  // Line 4
+        for (NodeId k : n_m) c_sum += job.static_min_distance(j, k);
+      } else {
+        c_ij = engine.map_cost(job, j, node);                     // Line 4
+        for (NodeId k : n_m) c_sum += engine.map_cost(job, j, k); // Line 6
+      }
+      const double c_ave = c_sum / static_cast<double>(n_m.size());
+      const double p = assignment_probability(c_ij, c_ave, cfg_.model);
+      if (p > best_p) {
+        best_p = p;
+        best_task = j;
+      }
     }
   }
+  telemetry::inc(metrics_.map_candidates, candidates);
+  // Per candidate: C_ij once plus one term per node with a free map slot.
+  telemetry::inc(metrics_.map_cost_evals, candidates * (1 + n_m.size()));
   if (best_task == job.map_count()) return false;  // no unassigned task
 
+  telemetry::observe(metrics_.map_p, best_p);
   if (best_p < cfg_.p_min) {  // Lines 10-12: too costly, skip this node
     ++map_skips_;
+    telemetry::inc(metrics_.map_pmin_skips);
     return false;
   }
   if (!rng_.bernoulli(best_p)) {  // Lines 13-16
     ++map_skips_;
+    telemetry::inc(metrics_.map_bernoulli_rejects);
     return false;
   }
   engine.assign_map(job, best_task, node);
@@ -109,6 +149,7 @@ bool PnaScheduler::schedule_map(Engine& engine, JobRun& job, NodeId node) {
 
 bool PnaScheduler::schedule_reduce(Engine& engine, JobRun& job, NodeId node) {
   ++reduce_attempts_;
+  telemetry::inc(metrics_.reduce_attempts);
 
   const std::vector<NodeId> n_r =
       engine.cluster().nodes_with_free_reduce_slots();
@@ -122,23 +163,35 @@ bool PnaScheduler::schedule_reduce(Engine& engine, JobRun& job, NodeId node) {
 
   double best_p = -1.0;
   std::size_t best_task = job.reduce_count();
-  for (std::size_t f : job.unassigned_reduces()) {
-    const double c_if = eval.cost(self_index, f);    // Line 5 (Eq. 3)
-    const double c_ave = eval.average_cost(f);       // Line 7
-    const double p = assignment_probability(c_if, c_ave, cfg_.model);
-    if (p > best_p) {
-      best_p = p;
-      best_task = f;
+  std::uint64_t candidates = 0;
+  {
+    telemetry::ScopedTimer score_timer(metrics_.score_wall);
+    for (std::size_t f : job.unassigned_reduces()) {
+      ++candidates;
+      const double c_if = eval.cost(self_index, f);    // Line 5 (Eq. 3)
+      const double c_ave = eval.average_cost(f);       // Line 7
+      const double p = assignment_probability(c_if, c_ave, cfg_.model);
+      if (p > best_p) {
+        best_p = p;
+        best_task = f;
+      }
     }
   }
+  telemetry::inc(metrics_.reduce_candidates, candidates);
+  // Per candidate: C_if at this node plus the average over all nodes with
+  // a free reduce slot (Eq. 3 evaluated once per node by the evaluator).
+  telemetry::inc(metrics_.reduce_cost_evals, candidates * (1 + n_r.size()));
   if (best_task == job.reduce_count()) return false;
 
+  telemetry::observe(metrics_.reduce_p, best_p);
   if (best_p < cfg_.p_min) {  // Lines 11-13
     ++reduce_skips_;
+    telemetry::inc(metrics_.reduce_pmin_skips);
     return false;
   }
   if (!rng_.bernoulli(best_p)) {  // Lines 14-17
     ++reduce_skips_;
+    telemetry::inc(metrics_.reduce_bernoulli_rejects);
     return false;
   }
   engine.assign_reduce(job, best_task, node);

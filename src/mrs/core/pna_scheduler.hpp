@@ -49,6 +49,11 @@ class PnaScheduler final : public mapreduce::TaskScheduler {
 
   void on_heartbeat(mapreduce::Engine& engine, NodeId node) override;
 
+  /// Registers the scheduler's decision metrics: candidate-scan and
+  /// cost-evaluation counters, the histogram of chosen P, and the P_min /
+  /// Bernoulli skip counters (introspection of Algorithm 1/2 outcomes).
+  void set_telemetry(telemetry::Registry* registry) override;
+
   // --- statistics (for tests and the micro bench) ---
   [[nodiscard]] std::size_t map_attempts() const { return map_attempts_; }
   [[nodiscard]] std::size_t map_skips() const { return map_skips_; }
@@ -65,8 +70,28 @@ class PnaScheduler final : public mapreduce::TaskScheduler {
   bool schedule_reduce(mapreduce::Engine& engine, mapreduce::JobRun& job,
                        NodeId node);
 
+  /// Possibly-null cached metric pointers (telemetry::inc/observe
+  /// tolerate null, so the uninstrumented hot path costs one branch).
+  struct Metrics {
+    telemetry::Counter* map_attempts = nullptr;
+    telemetry::Counter* map_candidates = nullptr;
+    telemetry::Counter* map_cost_evals = nullptr;
+    telemetry::Counter* map_local_fastpath = nullptr;
+    telemetry::Counter* map_pmin_skips = nullptr;
+    telemetry::Counter* map_bernoulli_rejects = nullptr;
+    telemetry::Counter* reduce_attempts = nullptr;
+    telemetry::Counter* reduce_candidates = nullptr;
+    telemetry::Counter* reduce_cost_evals = nullptr;
+    telemetry::Counter* reduce_pmin_skips = nullptr;
+    telemetry::Counter* reduce_bernoulli_rejects = nullptr;
+    telemetry::Histogram* map_p = nullptr;     ///< chosen best P per draw
+    telemetry::Histogram* reduce_p = nullptr;  ///< chosen best P per draw
+    telemetry::TimerStat* score_wall = nullptr;
+  };
+
   PnaConfig cfg_;
   Rng rng_;
+  Metrics metrics_;
   std::size_t map_attempts_ = 0;
   std::size_t map_skips_ = 0;
   std::size_t reduce_attempts_ = 0;

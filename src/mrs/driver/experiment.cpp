@@ -8,6 +8,8 @@
 #include "mrs/sched/fifo.hpp"
 #include "mrs/sim/network_service.hpp"
 #include "mrs/sim/simulation.hpp"
+#include "mrs/telemetry/export.hpp"
+#include "mrs/telemetry/perfetto.hpp"
 
 namespace mrs::driver {
 
@@ -120,14 +122,84 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   auto scheduler = make_scheduler(cfg, root.split("scheduler"));
   engine.set_scheduler(scheduler.get());
+
+  // One registry per run: metric values stay deterministic per (config,
+  // seed) and parallel run_experiments shares no mutable state.
+  telemetry::Registry registry;
+  if (cfg.enable_telemetry) {
+    engine.set_telemetry(&registry);
+    scheduler->set_telemetry(&registry);
+  }
+
   std::unique_ptr<sim::CsvTraceSink> trace;
+  sim::MemoryTraceSink perfetto_events;
+  std::vector<sim::TraceSink*> sinks;
   if (!cfg.trace_path.empty()) {
     trace = std::make_unique<sim::CsvTraceSink>(cfg.trace_path);
-    engine.set_trace_sink(trace.get());
+    sinks.push_back(trace.get());
   }
+  if (!cfg.perfetto_path.empty()) sinks.push_back(&perfetto_events);
+  sim::TeeTraceSink tee(sinks);
+  if (sinks.size() == 1) {
+    engine.set_trace_sink(sinks.front());
+  } else if (sinks.size() > 1) {
+    engine.set_trace_sink(&tee);
+  }
+
+  // Periodic gauge sampler (jobs in system, queue depths, utilization,
+  // offered vs completed work). The `done` predicate lets the event queue
+  // drain once all jobs finish instead of self-rescheduling forever.
+  MRS_REQUIRE(cfg.sample_period >= 0.0);
+  std::unique_ptr<telemetry::Sampler> sampler;
+  if (cfg.sample_period > 0.0) {
+    const std::vector<std::string> columns = {
+        "jobs_in_system",  "maps_queued",       "reduces_queued",
+        "busy_map_slots",  "busy_reduce_slots", "map_slot_util",
+        "reduce_slot_util", "jobs_arrived",     "jobs_completed"};
+    std::vector<telemetry::Gauge*> gauges;
+    gauges.reserve(columns.size());
+    for (const auto& c : columns) {
+      gauges.push_back(&registry.gauge("sample." + c));
+    }
+    sampler = std::make_unique<telemetry::Sampler>(
+        &simulation, columns, cfg.sample_period,
+        [&engine, &cluster, gauges](Seconds, std::vector<double>& row) {
+          std::size_t maps_queued = 0, reduces_queued = 0;
+          for (const mapreduce::JobRun* job : engine.active_jobs()) {
+            maps_queued += job->maps_unassigned();
+            reduces_queued += job->reduces_unassigned();
+          }
+          const auto busy_m = cluster.busy_map_slots();
+          const auto busy_r = cluster.busy_reduce_slots();
+          const auto total_m = cluster.total_map_slots();
+          const auto total_r = cluster.total_reduce_slots();
+          row = {static_cast<double>(engine.active_jobs().size()),
+                 static_cast<double>(maps_queued),
+                 static_cast<double>(reduces_queued),
+                 static_cast<double>(busy_m),
+                 static_cast<double>(busy_r),
+                 total_m > 0 ? static_cast<double>(busy_m) /
+                                   static_cast<double>(total_m)
+                             : 0.0,
+                 total_r > 0 ? static_cast<double>(busy_r) /
+                                   static_cast<double>(total_r)
+                             : 0.0,
+                 static_cast<double>(engine.jobs_activated()),
+                 static_cast<double>(engine.jobs_completed())};
+          for (std::size_t i = 0; i < row.size(); ++i) {
+            gauges[i]->set(row[i]);  // snapshot carries the last sample
+          }
+        },
+        [&engine] { return engine.all_jobs_complete(); });
+    sampler->start();
+  }
+
   engine.start();
   failures.start();
-  simulation.run(cfg.max_sim_time);
+  {
+    telemetry::ScopedTimer run_timer(&registry.timer("driver.run_wall"));
+    simulation.run(cfg.max_sim_time);
+  }
 
   ExperimentResult result;
   result.scheduler_name = scheduler->name();
@@ -143,6 +215,17 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     result.makespan = std::max(result.makespan, j.finish_time);
   }
   result.events_processed = simulation.processed_count();
+  result.telemetry = registry.snapshot();
+  if (sampler) result.samples = sampler->series();
+  if (!cfg.telemetry_path.empty()) {
+    telemetry::write_jsonl(cfg.telemetry_path, result.telemetry,
+                           result.samples);
+  }
+  if (!cfg.perfetto_path.empty()) {
+    telemetry::write_chrome_trace(cfg.perfetto_path,
+                                  perfetto_events.events(), result.telemetry,
+                                  result.samples);
+  }
   return result;
 }
 

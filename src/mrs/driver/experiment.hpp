@@ -24,6 +24,8 @@
 #include "mrs/sched/fair.hpp"
 #include "mrs/sched/larts.hpp"
 #include "mrs/sched/mincost.hpp"
+#include "mrs/telemetry/registry.hpp"
+#include "mrs/telemetry/sampler.hpp"
 #include "mrs/workload/table2.hpp"
 
 namespace mrs::driver {
@@ -98,6 +100,22 @@ struct ExperimentConfig {
   Seconds max_sim_time = 1e7;
   /// When non-empty, write an execution trace CSV to this path.
   std::string trace_path;
+
+  // --- telemetry ---
+  /// When false, no registry is attached to the engine/scheduler: every
+  /// metric pointer stays null and the hot path pays only the null check.
+  /// The telemetry-overhead bench uses this as its baseline.
+  bool enable_telemetry = true;
+  /// When > 0, a sampler snapshots cluster gauges (jobs in system, queue
+  /// depths, slot utilization, arrived vs completed) every this many
+  /// sim-seconds into ExperimentResult::samples.
+  Seconds sample_period = 0.0;
+  /// When non-empty, write the telemetry JSONL (time-series + final
+  /// snapshot; see docs/telemetry.md) to this path.
+  std::string telemetry_path;
+  /// When non-empty, write a Chrome trace-event JSON (ui.perfetto.dev)
+  /// built from the execution trace, sampled gauges and wall timers.
+  std::string perfetto_path;
 };
 
 struct ExperimentResult {
@@ -108,6 +126,12 @@ struct ExperimentResult {
   Seconds makespan = 0.0;  ///< last job completion time
   std::size_t events_processed = 0;
   bool completed = false;  ///< all jobs finished before max_sim_time
+  /// Final values of every engine/scheduler metric of this run. Counter
+  /// and histogram values are deterministic per (config, seed) — only the
+  /// wall-clock timers vary between hosts/runs.
+  telemetry::Snapshot telemetry;
+  /// Sampled time-series (empty unless config.sample_period > 0).
+  telemetry::TimeSeries samples;
 };
 
 /// Run one experiment synchronously.

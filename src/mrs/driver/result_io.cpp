@@ -41,36 +41,9 @@ std::optional<JobKind> parse_kind(const std::string& s) {
   return std::nullopt;
 }
 
-/// Minimal CSV line splitter (fields written by CsvWriter; quotes only
-/// around job names, which never contain commas here).
-std::vector<std::string> split_csv(const std::string& line) {
-  std::vector<std::string> out;
-  std::string field;
-  bool quoted = false;
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    const char c = line[i];
-    if (quoted) {
-      if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          field += '"';
-          ++i;
-        } else {
-          quoted = false;
-        }
-      } else {
-        field += c;
-      }
-    } else if (c == '"') {
-      quoted = true;
-    } else if (c == ',') {
-      out.push_back(std::move(field));
-      field.clear();
-    } else {
-      field += c;
-    }
-  }
-  out.push_back(std::move(field));
-  return out;
+/// True for the record a blank line parses to (tolerated between rows).
+bool blank_record(const std::vector<std::string>& f) {
+  return f.size() == 1 && f[0].empty();
 }
 
 }  // namespace
@@ -129,12 +102,12 @@ std::optional<ExperimentResult> load_result(const std::string& directory,
   if (!meta_in || !jobs_in || !tasks_in) return std::nullopt;
 
   ExperimentResult result;
-  std::string line;
+  std::vector<std::string> f;
 
-  std::getline(meta_in, line);  // header
-  if (!std::getline(meta_in, line)) return std::nullopt;
+  CsvReader meta_csv(meta_in);
+  if (!meta_csv.row(f)) return std::nullopt;  // header
+  if (!meta_csv.row(f)) return std::nullopt;
   {
-    const auto f = split_csv(line);
     if (f.size() != 9) return std::nullopt;
     result.scheduler_name = f[0];
     result.completed = f[1] == "1";
@@ -147,10 +120,10 @@ std::optional<ExperimentResult> load_result(const std::string& directory,
     result.utilization.total_reduce_slots = std::stoul(f[8]);
   }
 
-  std::getline(jobs_in, line);  // header
-  while (std::getline(jobs_in, line)) {
-    if (line.empty()) continue;
-    const auto f = split_csv(line);
+  CsvReader jobs_csv(jobs_in);
+  if (!jobs_csv.row(f)) return std::nullopt;  // header
+  while (jobs_csv.row(f)) {
+    if (blank_record(f)) continue;
     if (f.size() != 9) return std::nullopt;
     mapreduce::JobRecord j;
     j.id = JobId(std::stoul(f[0]));
@@ -169,10 +142,10 @@ std::optional<ExperimentResult> load_result(const std::string& directory,
                                result.job_records.back().finish_time);
   }
 
-  std::getline(tasks_in, line);  // header
-  while (std::getline(tasks_in, line)) {
-    if (line.empty()) continue;
-    const auto f = split_csv(line);
+  CsvReader tasks_csv(tasks_in);
+  if (!tasks_csv.row(f)) return std::nullopt;  // header
+  while (tasks_csv.row(f)) {
+    if (blank_record(f)) continue;
     if (f.size() != 11) return std::nullopt;
     mapreduce::TaskRecord t;
     t.job = JobId(std::stoul(f[0]));

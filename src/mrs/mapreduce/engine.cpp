@@ -37,6 +37,38 @@ void Engine::set_scheduler(TaskScheduler* scheduler) {
   scheduler_ = scheduler;
 }
 
+void Engine::set_telemetry(telemetry::Registry* registry) {
+  MRS_REQUIRE(!started_);
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  telemetry::Registry& r = *registry;
+  metrics_.heartbeats = &r.counter("engine.heartbeats");
+  metrics_.jobs_activated = &r.counter("engine.jobs.activated");
+  metrics_.jobs_finished = &r.counter("engine.jobs.finished");
+  metrics_.maps_assigned = &r.counter("engine.maps.assigned");
+  metrics_.maps_finished = &r.counter("engine.maps.finished");
+  metrics_.maps_killed = &r.counter("engine.maps.killed");
+  metrics_.reduces_assigned = &r.counter("engine.reduces.assigned");
+  metrics_.reduces_finished = &r.counter("engine.reduces.finished");
+  metrics_.reduces_killed = &r.counter("engine.reduces.killed");
+  metrics_.speculative_launches = &r.counter("engine.speculative_launches");
+  metrics_.nodes_failed = &r.counter("engine.nodes.failed");
+  metrics_.nodes_recovered = &r.counter("engine.nodes.recovered");
+  static constexpr const char* kMapLocality[3] = {
+      "engine.maps.locality.node", "engine.maps.locality.rack",
+      "engine.maps.locality.remote"};
+  static constexpr const char* kReduceLocality[3] = {
+      "engine.reduces.locality.node", "engine.reduces.locality.rack",
+      "engine.reduces.locality.remote"};
+  for (int l = 0; l < 3; ++l) {
+    metrics_.map_locality[l] = &r.counter(kMapLocality[l]);
+    metrics_.reduce_locality[l] = &r.counter(kReduceLocality[l]);
+  }
+  metrics_.heartbeat_wall = &r.timer("engine.heartbeat_wall");
+}
+
 JobRun& Engine::submit(JobSpec spec, Rng rng) {
   MRS_REQUIRE(!started_);
   spec.id = JobId(jobs_.size());
@@ -100,6 +132,8 @@ void Engine::trace(sim::TraceEventKind kind, std::string subject,
 
 void Engine::activate_job(JobRun& job) {
   active_jobs_.push_back(&job);
+  ++jobs_activated_;
+  telemetry::inc(metrics_.jobs_activated);
   log_debug("t=%.1f activate job %s", now(), job.spec().name.c_str());
   trace(sim::TraceEventKind::kJobActivated, job.spec().name);
 }
@@ -107,6 +141,8 @@ void Engine::activate_job(JobRun& job) {
 void Engine::on_heartbeat(NodeId node) {
   if (active_jobs_.empty()) return;
   if (!cluster_->node_alive(node)) return;  // dead trackers don't report
+  telemetry::inc(metrics_.heartbeats);
+  telemetry::ScopedTimer timer(metrics_.heartbeat_wall);
   heartbeat_map_budget_ = config_.maps_per_heartbeat;
   heartbeat_reduce_budget_ = config_.reduces_per_heartbeat;
   if (config_.fault.speculative_execution) maybe_speculate(node);
@@ -190,6 +226,8 @@ void Engine::assign_map(JobRun& job, std::size_t j, NodeId node) {
   s.fetch_flow = FlowId::invalid();
   ++s.attempts;
   job.note_map_assigned();
+  telemetry::inc(metrics_.maps_assigned);
+  telemetry::inc(metrics_.map_locality[static_cast<int>(s.locality)]);
   if (job.first_task_start < 0.0) job.first_task_start = now();
   trace(sim::TraceEventKind::kMapAssigned,
         strf("%s/map/%zu", job.spec().name.c_str(), j),
@@ -307,6 +345,7 @@ void Engine::kill_map_attempt(JobRun& job, std::size_t j, bool backup) {
     s.compute_duration = 0.0;
     s.straggler = false;
     ++s.epoch;  // invalidate any stale in-flight callbacks
+    telemetry::inc(metrics_.maps_killed);
     trace(sim::TraceEventKind::kMapKilled,
           strf("%s/map/%zu", job.spec().name.c_str(), j));
   }
@@ -349,6 +388,7 @@ void Engine::finish_map(JobRun& job, std::size_t j, bool backup) {
   cluster_->release_map_slot(s.node);
   job.note_map_finished();
   job.record_map_duration(s.finished_at - s.assigned_at);
+  telemetry::inc(metrics_.maps_finished);
   record_task(job, /*is_map=*/true, j);
   trace(sim::TraceEventKind::kMapFinished,
         strf("%s/map/%zu", job.spec().name.c_str(), j),
@@ -415,6 +455,7 @@ void Engine::maybe_speculate(NodeId node) {
     // Launch the backup copy here (costs one map budget like any launch).
     --heartbeat_map_budget_;
     ++speculative_attempts_;
+    telemetry::inc(metrics_.speculative_launches);
     trace(sim::TraceEventKind::kSpeculativeLaunch,
           strf("%s/map/%zu", best_job->spec().name.c_str(), best_task),
           strf("backup-node=%zu", node.value()));
@@ -472,6 +513,8 @@ void Engine::assign_reduce(JobRun& job, std::size_t f, NodeId node) {
   r.phase = ReducePhase::kStartup;
   ++r.attempts;
   job.note_reduce_assigned();
+  telemetry::inc(metrics_.reduces_assigned);
+  telemetry::inc(metrics_.reduce_locality[static_cast<int>(r.locality)]);
   if (job.first_task_start < 0.0) job.first_task_start = now();
   trace(sim::TraceEventKind::kReduceAssigned,
         strf("%s/reduce/%zu", job.spec().name.c_str(), f),
@@ -523,6 +566,7 @@ void Engine::kill_reduce_attempt(JobRun& job, std::size_t f) {
   r.postpone_count = 0;
   ++r.epoch;
   job.note_reduce_attempt_lost();
+  telemetry::inc(metrics_.reduces_killed);
   trace(sim::TraceEventKind::kReduceKilled,
         strf("%s/reduce/%zu", job.spec().name.c_str(), f));
 }
@@ -643,6 +687,7 @@ void Engine::finish_reduce(JobRun& job, std::size_t f) {
   r.placement_cost = cost;
 
   job.note_reduce_finished();
+  telemetry::inc(metrics_.reduces_finished);
   record_task(job, /*is_map=*/false, f);
   trace(sim::TraceEventKind::kReduceFinished,
         strf("%s/reduce/%zu", job.spec().name.c_str(), f),
@@ -657,6 +702,7 @@ void Engine::finish_reduce(JobRun& job, std::size_t f) {
 void Engine::fail_node(NodeId node) {
   if (!cluster_->node_alive(node)) return;  // already down
   ++failures_injected_;
+  telemetry::inc(metrics_.nodes_failed);
   log_info("t=%.1f node %zu failed", now(), node.value());
   trace(sim::TraceEventKind::kNodeFailed, strf("node/%zu", node.value()));
 
@@ -733,6 +779,7 @@ void Engine::fail_node(NodeId node) {
 
 void Engine::recover_node(NodeId node) {
   if (cluster_->node_alive(node)) return;
+  telemetry::inc(metrics_.nodes_recovered);
   log_info("t=%.1f node %zu recovered", now(), node.value());
   trace(sim::TraceEventKind::kNodeRecovered,
         strf("node/%zu", node.value()));
@@ -795,6 +842,7 @@ void Engine::check_job_complete(JobRun& job) {
       std::remove(active_jobs_.begin(), active_jobs_.end(), &job),
       active_jobs_.end());
   ++jobs_completed_;
+  telemetry::inc(metrics_.jobs_finished);
   trace(sim::TraceEventKind::kJobFinished, job.spec().name,
         strf("jct=%.3f", job.finish_time - job.submit_time));
   log_debug("t=%.1f job %s complete (%zu/%zu)", now(),

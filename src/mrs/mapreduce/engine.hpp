@@ -24,6 +24,7 @@
 #include "mrs/sim/network_service.hpp"
 #include "mrs/sim/trace.hpp"
 #include "mrs/sim/simulation.hpp"
+#include "mrs/telemetry/registry.hpp"
 
 namespace mrs::mapreduce {
 
@@ -95,6 +96,12 @@ class Engine {
   /// Optional execution trace (may be null; must outlive the run).
   void set_trace_sink(sim::TraceSink* sink) { trace_ = sink; }
 
+  /// Optional telemetry registry (must outlive the run): registers the
+  /// engine's lifecycle counters, locality buckets and heartbeat timer.
+  /// Without it every metric pointer stays null and recording is a
+  /// predictable branch per event.
+  void set_telemetry(telemetry::Registry* registry);
+
   /// Queue a job; it activates at spec.submit_time. `rng` draws the job's
   /// intermediate-data ground truth.
   JobRun& submit(JobSpec spec, Rng rng);
@@ -106,6 +113,11 @@ class Engine {
   [[nodiscard]] bool all_jobs_complete() const {
     return jobs_completed_ == jobs_.size();
   }
+
+  [[nodiscard]] std::size_t jobs_submitted() const { return jobs_.size(); }
+  [[nodiscard]] std::size_t jobs_completed() const { return jobs_completed_; }
+  /// Jobs activated (reached their submit time) so far.
+  [[nodiscard]] std::size_t jobs_activated() const { return jobs_activated_; }
 
   // --- scheduler-facing queries ---
   [[nodiscard]] Seconds now() const { return simulation_->now(); }
@@ -216,6 +228,27 @@ class Engine {
   void trace(sim::TraceEventKind kind, std::string subject,
              std::string detail = {});
 
+  /// Possibly-null cached metric pointers into the attached registry
+  /// (telemetry::inc / observe tolerate null). Lifecycle counts mirror
+  /// the trace events; locality buckets index by mapreduce::Locality.
+  struct Metrics {
+    telemetry::Counter* heartbeats = nullptr;
+    telemetry::Counter* jobs_activated = nullptr;
+    telemetry::Counter* jobs_finished = nullptr;
+    telemetry::Counter* maps_assigned = nullptr;
+    telemetry::Counter* maps_finished = nullptr;
+    telemetry::Counter* maps_killed = nullptr;
+    telemetry::Counter* reduces_assigned = nullptr;
+    telemetry::Counter* reduces_finished = nullptr;
+    telemetry::Counter* reduces_killed = nullptr;
+    telemetry::Counter* speculative_launches = nullptr;
+    telemetry::Counter* nodes_failed = nullptr;
+    telemetry::Counter* nodes_recovered = nullptr;
+    telemetry::Counter* map_locality[3] = {};     ///< node/rack/remote
+    telemetry::Counter* reduce_locality[3] = {};  ///< node/rack/remote
+    telemetry::TimerStat* heartbeat_wall = nullptr;
+  };
+
   sim::Simulation* simulation_;
   cluster::Cluster* cluster_;
   const dfs::BlockStore* blocks_;
@@ -225,6 +258,7 @@ class Engine {
   Rng rng_;
   TaskScheduler* scheduler_ = nullptr;
   sim::TraceSink* trace_ = nullptr;
+  Metrics metrics_;
   cluster::HeartbeatService heartbeats_;
   std::size_t failures_injected_ = 0;
   std::size_t speculative_attempts_ = 0;
@@ -232,6 +266,7 @@ class Engine {
   std::vector<std::unique_ptr<JobRun>> jobs_;
   std::vector<JobRun*> active_jobs_;
   std::size_t jobs_completed_ = 0;
+  std::size_t jobs_activated_ = 0;
   bool started_ = false;
 
   std::vector<TaskRecord> task_records_;

@@ -9,6 +9,10 @@
 
 #include "mrs/common/ids.hpp"
 
+namespace mrs::telemetry {
+class Registry;
+}  // namespace mrs::telemetry
+
 namespace mrs::mapreduce {
 
 class Engine;
@@ -22,6 +26,13 @@ class TaskScheduler {
   /// A heartbeat from `node` arrived; `node` may have free map and/or
   /// reduce slots. Called only while at least one job is active.
   virtual void on_heartbeat(Engine& engine, NodeId node) = 0;
+
+  /// Optional: register scheduler metrics with `registry` (must outlive
+  /// the run). Instrumented schedulers cache metric pointers here; the
+  /// default is a no-op, so plain schedulers need no changes.
+  virtual void set_telemetry(telemetry::Registry* registry) {
+    (void)registry;
+  }
 };
 
 }  // namespace mrs::mapreduce

@@ -88,4 +88,19 @@ class CsvTraceSink final : public TraceSink {
   CsvWriter writer_;
 };
 
+/// Fans one event stream out to several sinks (e.g. CSV file + in-memory
+/// buffer for the Perfetto exporter). Sinks must outlive the tee.
+class TeeTraceSink final : public TraceSink {
+ public:
+  explicit TeeTraceSink(std::vector<TraceSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  void record(const TraceEvent& event) override {
+    for (TraceSink* sink : sinks_) sink->record(event);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
 }  // namespace mrs::sim

@@ -1,0 +1,104 @@
+#include "mrs/telemetry/export.hpp"
+
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "mrs/common/strfmt.hpp"
+
+namespace mrs::telemetry {
+
+namespace {
+
+/// %.17g keeps doubles round-trippable; JSON forbids NaN/Inf, so they are
+/// emitted as null.
+std::string json_number(double v) {
+  if (v != v || v == std::numeric_limits<double>::infinity() ||
+      v == -std::numeric_limits<double>::infinity()) {
+    return "null";
+  }
+  return strf("%.17g", v);
+}
+
+void append_uint_array(std::string& out,
+                       const std::vector<std::uint64_t>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ',';
+    out += strf("%llu", static_cast<unsigned long long>(values[i]));
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_jsonl(const Snapshot& snapshot, const TimeSeries& series) {
+  std::string out;
+  for (const auto& row : series.rows) {
+    out += strf("{\"type\":\"sample\",\"t\":%s", json_number(row.t).c_str());
+    for (std::size_t i = 0; i < series.columns.size(); ++i) {
+      out += strf(",\"%s\":%s", json_escape(series.columns[i]).c_str(),
+                  json_number(row.values[i]).c_str());
+    }
+    out += "}\n";
+  }
+  for (const auto& c : snapshot.counters) {
+    out += strf("{\"type\":\"counter\",\"name\":\"%s\",\"value\":%llu}\n",
+                json_escape(c.name).c_str(),
+                static_cast<unsigned long long>(c.value));
+  }
+  for (const auto& g : snapshot.gauges) {
+    out += strf("{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%s}\n",
+                json_escape(g.name).c_str(), json_number(g.value).c_str());
+  }
+  for (const auto& h : snapshot.histograms) {
+    out += strf("{\"type\":\"histogram\",\"name\":\"%s\",\"lo\":%s,"
+                "\"hi\":%s,\"underflow\":%llu,\"overflow\":%llu,\"counts\":",
+                json_escape(h.name).c_str(), json_number(h.lo).c_str(),
+                json_number(h.hi).c_str(),
+                static_cast<unsigned long long>(h.underflow),
+                static_cast<unsigned long long>(h.overflow));
+    append_uint_array(out, h.counts);
+    out += "}\n";
+  }
+  for (const auto& t : snapshot.timers) {
+    out += strf("{\"type\":\"timer\",\"name\":\"%s\",\"count\":%llu,"
+                "\"total_ms\":%s,\"max_ms\":%s}\n",
+                json_escape(t.name).c_str(),
+                static_cast<unsigned long long>(t.count),
+                json_number(static_cast<double>(t.total_ns) / 1e6).c_str(),
+                json_number(static_cast<double>(t.max_ns) / 1e6).c_str());
+  }
+  return out;
+}
+
+void write_jsonl(const std::string& path, const Snapshot& snapshot,
+                 const TimeSeries& series) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_jsonl: cannot open " + path);
+  out << to_jsonl(snapshot, series);
+  if (!out) throw std::runtime_error("write_jsonl: write failed: " + path);
+}
+
+}  // namespace mrs::telemetry

@@ -1,0 +1,182 @@
+#include "mrs/telemetry/perfetto.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "mrs/common/strfmt.hpp"
+#include "mrs/telemetry/export.hpp"
+
+namespace mrs::telemetry {
+
+namespace {
+
+// Process ids grouping the trace tracks in the Perfetto UI.
+constexpr int kTasksPid = 1;     ///< per-node task slices & instants
+constexpr int kJobsPid = 2;      ///< per-job lifetime slices
+constexpr int kCountersPid = 3;  ///< sampled time-series counters
+constexpr int kWallPid = 4;      ///< host wall-clock timer aggregates
+
+std::string us(Seconds t) { return strf("%.3f", t * 1e6); }
+
+/// Value of "<key>=<digits>" inside a detail string; -1 when absent.
+long parse_long_field(const std::string& detail, const char* key) {
+  const auto pos = detail.find(key);
+  if (pos == std::string::npos) return -1;
+  const char* p = detail.c_str() + pos + std::string_view(key).size();
+  char* end = nullptr;
+  const long v = std::strtol(p, &end, 10);
+  return end == p ? -1 : v;
+}
+
+void append_event(std::string& out, const std::string& body) {
+  if (!out.empty()) out += ",\n";
+  out += body;
+}
+
+void append_process_name(std::string& out, int pid, const char* name) {
+  append_event(out,
+               strf("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                    "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                    pid, name));
+}
+
+struct OpenSlice {
+  Seconds start = 0.0;
+  long tid = 0;
+  std::string detail;
+};
+
+}  // namespace
+
+std::string to_chrome_trace(std::span<const sim::TraceEvent> events,
+                            const Snapshot& snapshot,
+                            const TimeSeries& series) {
+  std::string out;
+  append_process_name(out, kTasksPid, "cluster nodes (task slices)");
+  append_process_name(out, kJobsPid, "jobs");
+  append_process_name(out, kCountersPid, "sampled gauges");
+  append_process_name(out, kWallPid, "host wall-clock (aggregates)");
+
+  // assigned -> finished/killed pairing, keyed by subject. Re-assignments
+  // after a kill re-open the key, so every attempt gets its own slice.
+  std::map<std::string, OpenSlice> open_tasks;
+  std::map<std::string, OpenSlice> open_jobs;
+  long next_job_tid = 0;
+
+  using sim::TraceEventKind;
+  for (const auto& e : events) {
+    switch (e.kind) {
+      case TraceEventKind::kJobActivated: {
+        open_jobs[e.subject] = {e.time, next_job_tid++, e.detail};
+        break;
+      }
+      case TraceEventKind::kJobFinished: {
+        const auto it = open_jobs.find(e.subject);
+        if (it == open_jobs.end()) break;
+        append_event(
+            out,
+            strf("{\"name\":\"%s\",\"cat\":\"job\",\"ph\":\"X\",\"ts\":%s,"
+                 "\"dur\":%s,\"pid\":%d,\"tid\":%ld,\"args\":{\"detail\":"
+                 "\"%s\"}}",
+                 json_escape(e.subject).c_str(), us(it->second.start).c_str(),
+                 us(e.time - it->second.start).c_str(), kJobsPid,
+                 it->second.tid, json_escape(e.detail).c_str()));
+        open_jobs.erase(it);
+        break;
+      }
+      case TraceEventKind::kMapAssigned:
+      case TraceEventKind::kReduceAssigned: {
+        open_tasks[e.subject] = {e.time, parse_long_field(e.detail, "node="),
+                                 e.detail};
+        break;
+      }
+      case TraceEventKind::kMapFinished:
+      case TraceEventKind::kMapKilled:
+      case TraceEventKind::kReduceFinished:
+      case TraceEventKind::kReduceKilled: {
+        const auto it = open_tasks.find(e.subject);
+        if (it == open_tasks.end()) break;
+        const bool is_map = e.kind == TraceEventKind::kMapFinished ||
+                            e.kind == TraceEventKind::kMapKilled;
+        const bool killed = e.kind == TraceEventKind::kMapKilled ||
+                            e.kind == TraceEventKind::kReduceKilled;
+        append_event(
+            out,
+            strf("{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%s,"
+                 "\"dur\":%s,\"pid\":%d,\"tid\":%ld,\"args\":{\"assigned\":"
+                 "\"%s\",\"end\":\"%s\"}}",
+                 json_escape(e.subject).c_str(),
+                 killed ? "killed" : (is_map ? "map" : "reduce"),
+                 us(it->second.start).c_str(),
+                 us(e.time - it->second.start).c_str(), kTasksPid,
+                 it->second.tid < 0 ? 0 : it->second.tid,
+                 json_escape(it->second.detail).c_str(),
+                 json_escape(e.detail).c_str()));
+        open_tasks.erase(it);
+        break;
+      }
+      case TraceEventKind::kSpeculativeLaunch:
+      case TraceEventKind::kNodeFailed:
+      case TraceEventKind::kNodeRecovered: {
+        long tid = parse_long_field(e.detail, "node=");
+        if (tid < 0) tid = parse_long_field(e.subject, "node/");
+        append_event(
+            out,
+            strf("{\"name\":\"%s: %s\",\"cat\":\"event\",\"ph\":\"i\","
+                 "\"s\":\"g\",\"ts\":%s,\"pid\":%d,\"tid\":%ld,\"args\":"
+                 "{\"detail\":\"%s\"}}",
+                 to_string(e.kind), json_escape(e.subject).c_str(),
+                 us(e.time).c_str(), kTasksPid, tid < 0 ? 0 : tid,
+                 json_escape(e.detail).c_str()));
+        break;
+      }
+    }
+  }
+
+  // Sampled gauges as counter tracks.
+  for (const auto& row : series.rows) {
+    for (std::size_t i = 0; i < series.columns.size(); ++i) {
+      append_event(
+          out,
+          strf("{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%s,\"pid\":%d,"
+               "\"tid\":0,\"args\":{\"value\":%.17g}}",
+               json_escape(series.columns[i]).c_str(), us(row.t).c_str(),
+               kCountersPid, row.values[i]));
+    }
+  }
+
+  // Wall-clock aggregates: one summary slice per timer starting at t=0
+  // with the accumulated duration (they are host-time totals, not
+  // sim-time spans, hence the dedicated process).
+  long wall_tid = 0;
+  for (const auto& t : snapshot.timers) {
+    append_event(
+        out,
+        strf("{\"name\":\"%s\",\"cat\":\"wall\",\"ph\":\"X\",\"ts\":0,"
+             "\"dur\":%.3f,\"pid\":%d,\"tid\":%ld,\"args\":{\"count\":%llu,"
+             "\"max_ms\":%.6f}}",
+             json_escape(t.name).c_str(),
+             static_cast<double>(t.total_ns) / 1e3, kWallPid, wall_tid++,
+             static_cast<unsigned long long>(t.count),
+             static_cast<double>(t.max_ns) / 1e6));
+  }
+
+  return "{\"traceEvents\":[\n" + out + "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_chrome_trace(const std::string& path,
+                        std::span<const sim::TraceEvent> events,
+                        const Snapshot& snapshot, const TimeSeries& series) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  }
+  out << to_chrome_trace(events, snapshot, series);
+  if (!out) {
+    throw std::runtime_error("write_chrome_trace: write failed: " + path);
+  }
+}
+
+}  // namespace mrs::telemetry

@@ -1,0 +1,33 @@
+// Chrome trace-event ("Trace Event Format") exporter, loadable in
+// ui.perfetto.dev and chrome://tracing.
+//
+// The timeline is reconstructed from the engine's TraceSink events:
+// assigned->finished/killed pairs become complete ("X") slices on a track
+// per cluster node, job activation->finish pairs become slices on a job
+// track, and kills/failures/speculative launches become instant events.
+// Sampled time-series columns are emitted as counter ("C") events, and the
+// host wall-clock timer aggregates as one summary slice each on a
+// dedicated process. Sim seconds map to trace microseconds.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "mrs/sim/trace.hpp"
+#include "mrs/telemetry/registry.hpp"
+#include "mrs/telemetry/sampler.hpp"
+
+namespace mrs::telemetry {
+
+/// Build the complete {"traceEvents":[...]} JSON document.
+[[nodiscard]] std::string to_chrome_trace(
+    std::span<const sim::TraceEvent> events, const Snapshot& snapshot,
+    const TimeSeries& series);
+
+/// Write to_chrome_trace(...) to `path`; throws std::runtime_error on I/O
+/// error.
+void write_chrome_trace(const std::string& path,
+                        std::span<const sim::TraceEvent> events,
+                        const Snapshot& snapshot, const TimeSeries& series);
+
+}  // namespace mrs::telemetry

@@ -1,0 +1,64 @@
+#include "mrs/telemetry/registry.hpp"
+
+namespace mrs::telemetry {
+
+std::uint64_t Snapshot::counter(const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, double lo, double hi,
+                               std::size_t buckets) {
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(lo, hi, buckets);
+  } else {
+    MRS_REQUIRE(slot->lo() == lo && slot->hi() == hi &&
+                slot->bucket_count() == buckets);
+  }
+  return *slot;
+}
+
+TimerStat& Registry::timer(const std::string& name) {
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<TimerStat>();
+  return *slot;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back(
+        {name, h->lo(), h->hi(), h->counts(), h->underflow(), h->overflow()});
+  }
+  snap.timers.reserve(timers_.size());
+  for (const auto& [name, t] : timers_) {
+    snap.timers.push_back({name, t->count(), t->total_ns(), t->max_ns()});
+  }
+  return snap;
+}
+
+}  // namespace mrs::telemetry

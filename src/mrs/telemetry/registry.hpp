@@ -1,0 +1,225 @@
+// Telemetry registry: named counters, gauges, fixed-bucket histograms and
+// wall-clock timer aggregates.
+//
+// The hot path is header-only and branch-light: components cache raw
+// metric pointers at attach time and bump them through the null-tolerant
+// inline helpers below, so an unattached component (no registry) costs one
+// predictable branch per event and an attached one a single add. Metric
+// values never feed back into simulation decisions, so instrumentation
+// cannot perturb determinism; wall-clock timers are the only
+// non-deterministic quantities and are reported separately from counters.
+//
+// Each experiment run owns its own Registry (no global state): parallel
+// run_experiments therefore produces byte-identical counter values to
+// serial execution.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mrs/common/check.hpp"
+
+namespace mrs::telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (sampled, not aggregated).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed uniform-bucket histogram over [lo, hi): values below lo land in
+/// the underflow bucket, values at or above hi in the overflow bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {
+    MRS_REQUIRE(hi > lo && buckets >= 1);
+    inv_width_ = static_cast<double>(buckets) / (hi - lo);
+  }
+
+  void observe(double x) {
+    if (x < lo_) {
+      ++underflow_;
+      return;
+    }
+    if (x >= hi_) {
+      ++overflow_;
+      return;
+    }
+    auto idx = static_cast<std::size_t>((x - lo_) * inv_width_);
+    // Floating rounding can push a value just under hi into index
+    // `buckets`; clamp it into the top bucket.
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+    ++counts_[idx];
+  }
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t i) const {
+    return counts_.at(i);
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t n = underflow_ + overflow_;
+    for (auto c : counts_) n += c;
+    return n;
+  }
+  [[nodiscard]] double bucket_lo(std::size_t i) const {
+    return lo_ + static_cast<double>(i) / inv_width_;
+  }
+  [[nodiscard]] double bucket_hi(std::size_t i) const {
+    return bucket_lo(i + 1);
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  double inv_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Aggregated wall-clock timings (host time, not sim time): invocation
+/// count, total and max duration. Non-deterministic by nature.
+class TimerStat {
+ public:
+  void add_ns(std::uint64_t ns) {
+    ++count_;
+    total_ns_ += ns;
+    if (ns > max_ns_) max_ns_ = ns;
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t total_ns() const { return total_ns_; }
+  [[nodiscard]] std::uint64_t max_ns() const { return max_ns_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t total_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+/// RAII scope timer; a null target makes it a no-op (one branch each way).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimerStat* target) : target_(target) {
+    if (target_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (target_ == nullptr) return;
+    const auto end = std::chrono::steady_clock::now();
+    target_->add_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+            .count()));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerStat* target_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Null-tolerant hot-path helpers: components hold possibly-null metric
+// pointers and call these unconditionally.
+inline void inc(Counter* c, std::uint64_t n = 1) {
+  if (c != nullptr) c->inc(n);
+}
+inline void observe(Histogram* h, double x) {
+  if (h != nullptr) h->observe(x);
+}
+inline void set(Gauge* g, double v) {
+  if (g != nullptr) g->set(v);
+}
+
+// --- snapshot (point-in-time copy of every registered metric) ---
+
+struct CounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeValue {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramValue {
+  std::string name;
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+};
+
+struct TimerValue {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// All metrics of one registry, each kind sorted by name (registry storage
+/// is name-ordered, so snapshots are deterministic given deterministic
+/// metric values).
+struct Snapshot {
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+  std::vector<TimerValue> timers;
+
+  /// Counter value by name; 0 when absent (convenience for tests/tools).
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+};
+
+/// Owns the metrics of one run. Lookup/creation is slow-path (string map);
+/// callers cache the returned references, which stay stable for the
+/// registry's lifetime. Not thread-safe: one registry per run/thread.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create. Re-requesting an existing name returns the same
+  /// object; a histogram re-request must match the original bounds.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t buckets);
+  TimerStat& timer(const std::string& name);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<TimerStat>> timers_;
+};
+
+}  // namespace mrs::telemetry

@@ -1,0 +1,55 @@
+#include "mrs/telemetry/sampler.hpp"
+
+#include "mrs/common/check.hpp"
+
+namespace mrs::telemetry {
+
+TimeSeries TimeSeries::slice(Seconds begin, Seconds end) const {
+  TimeSeries out;
+  out.columns = columns;
+  for (const auto& row : rows) {
+    if (row.t >= begin && row.t < end) out.rows.push_back(row);
+  }
+  return out;
+}
+
+std::size_t TimeSeries::column(const std::string& name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return i;
+  }
+  return npos;
+}
+
+Sampler::Sampler(sim::Simulation* simulation,
+                 std::vector<std::string> columns, Seconds period, Fill fill,
+                 Done done)
+    : simulation_(simulation),
+      period_(period),
+      fill_(std::move(fill)),
+      done_(std::move(done)) {
+  MRS_REQUIRE(simulation_ != nullptr);
+  MRS_REQUIRE(period_ > 0.0);
+  MRS_REQUIRE(fill_ != nullptr);
+  series_.columns = std::move(columns);
+}
+
+void Sampler::start(Seconds at) {
+  MRS_REQUIRE(!started_);
+  started_ = true;
+  simulation_->schedule_at(at, [this] { sample_and_reschedule(); });
+}
+
+void Sampler::sample_and_reschedule() {
+  TimeSeries::Row row;
+  row.t = simulation_->now();
+  row.values.reserve(series_.columns.size());
+  fill_(row.t, row.values);
+  MRS_REQUIRE(row.values.size() == series_.columns.size());
+  series_.rows.push_back(std::move(row));
+  // One final sample is taken at or after the moment `done` flips (the
+  // predicate is checked post-sample), capturing the drained end state.
+  if (done_ && done_()) return;
+  simulation_->schedule_in(period_, [this] { sample_and_reschedule(); });
+}
+
+}  // namespace mrs::telemetry

@@ -1,0 +1,74 @@
+// Periodic sim-time sampler: snapshots a caller-supplied set of gauge
+// values every `period` sim-seconds into an in-memory time-series.
+//
+// The sampler self-reschedules on the simulation clock, so sample times
+// are exact multiples of the period (plus the optional start offset) and
+// fully deterministic. A stop predicate keeps it from holding the event
+// queue open forever: after each sample the predicate is consulted, and
+// once it returns true the sampler records no further samples — drained
+// runs still drain.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mrs/common/units.hpp"
+#include "mrs/sim/simulation.hpp"
+
+namespace mrs::telemetry {
+
+/// Column-named series of timestamped sample rows.
+struct TimeSeries {
+  struct Row {
+    Seconds t = 0.0;
+    std::vector<double> values;  ///< same order/length as `columns`
+  };
+
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  [[nodiscard]] bool empty() const { return rows.empty(); }
+
+  /// Rows with begin <= t < end (a measurement-window view; warmup rows
+  /// fall out when begin = warmup).
+  [[nodiscard]] TimeSeries slice(Seconds begin, Seconds end) const;
+
+  /// Index of a column by name; npos when absent.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+class Sampler {
+ public:
+  /// `fill` appends exactly columns.size() values for the current sim
+  /// time. `done` (optional) stops the sampler once it returns true,
+  /// evaluated after each sample.
+  using Fill = std::function<void(Seconds now, std::vector<double>& out)>;
+  using Done = std::function<bool()>;
+
+  Sampler(sim::Simulation* simulation, std::vector<std::string> columns,
+          Seconds period, Fill fill, Done done = {});
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Schedule the first sample at absolute sim time `at` (>= now).
+  void start(Seconds at = 0.0);
+
+  [[nodiscard]] const TimeSeries& series() const { return series_; }
+  [[nodiscard]] Seconds period() const { return period_; }
+
+ private:
+  void sample_and_reschedule();
+
+  sim::Simulation* simulation_;
+  Seconds period_;
+  Fill fill_;
+  Done done_;
+  TimeSeries series_;
+  bool started_ = false;
+};
+
+}  // namespace mrs::telemetry

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "mrs/common/csv.hpp"
 #include "mrs/sched/fifo.hpp"
 #include "mrs/sim/trace.hpp"
 #include "test_harness.hpp"
@@ -115,6 +116,52 @@ TEST(Trace, CsvSinkWritesRows) {
   EXPECT_GE(rows, 3u + 1u + 2u);  // at least one event per task + job
   EXPECT_TRUE(saw_finished);
   std::remove(path.c_str());
+}
+
+// The CSV trace must survive hostile detail strings: commas, quotes and
+// embedded newlines have to come back byte-identical through CsvReader.
+TEST(Trace, CsvDetailRoundTripsThroughReader) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pnats_trace_roundtrip.csv")
+          .string();
+  const std::vector<TraceEvent> events = {
+      {1.5, TraceEventKind::kMapAssigned, "job A/map/0",
+       "node=3, locality=\"node-local\""},
+      {2.25, TraceEventKind::kMapKilled, "job A/map/0",
+       "reason=straggler\nnode=3, attempt=2"},
+      {3.0, TraceEventKind::kJobFinished, "job \"A\", the first", ""},
+  };
+  {
+    CsvTraceSink sink(path);
+    for (const auto& e : events) sink.record(e);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  CsvReader reader(in);
+  std::vector<std::string> f;
+  ASSERT_TRUE(reader.row(f));
+  EXPECT_EQ(f, (std::vector<std::string>{"time", "kind", "subject",
+                                         "detail"}));
+  for (const auto& e : events) {
+    ASSERT_TRUE(reader.row(f));
+    ASSERT_EQ(f.size(), 4u);
+    EXPECT_DOUBLE_EQ(std::stod(f[0]), e.time);
+    EXPECT_EQ(f[1], to_string(e.kind));
+    EXPECT_EQ(f[2], e.subject);
+    EXPECT_EQ(f[3], e.detail);
+  }
+  EXPECT_FALSE(reader.row(f));
+  std::remove(path.c_str());
+}
+
+TEST(Trace, TeeSinkFansOutToAllSinks) {
+  MemoryTraceSink a, b;
+  TeeTraceSink tee({&a, &b});
+  tee.record({1.0, TraceEventKind::kMapAssigned, "j/map/0", "node=1"});
+  tee.record({2.0, TraceEventKind::kMapFinished, "j/map/0", "node=1"});
+  EXPECT_EQ(a.events().size(), 2u);
+  EXPECT_EQ(b.events().size(), 2u);
+  EXPECT_EQ(a.events()[1].subject, b.events()[1].subject);
 }
 
 TEST(Trace, NoSinkNoCrash) {

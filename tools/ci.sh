@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Single-entry CI pipeline:
 #   1. tier-1: configure + build + ctest (the gate every change must pass)
-#   2. ASan/UBSan build of the test suite (PNATS_SANITIZE=asan), catching
+#   2. telemetry smoke: a small streaming run must produce parseable
+#      JSONL + Chrome-trace output (validated with python3 when present)
+#   3. ASan/UBSan build of the test suite (PNATS_SANITIZE=asan), catching
 #      memory and UB bugs the plain build cannot
-#   3. optional: TSAN=1 ./tools/ci.sh adds a TSan pass over the threaded
+#   4. optional: TSAN=1 ./tools/ci.sh adds a TSan pass over the threaded
 #      run_experiments / stream-sweep paths
 #
 # Run from the repository root: ./tools/ci.sh
@@ -19,6 +21,34 @@ echo "==> tier-1: configure + build + ctest"
 cmake -B build -S . "${GENERATOR[@]}"
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> telemetry smoke: exporters produce parseable output"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./build/tools/pnats_sim --arrivals poisson --rate 240 --duration 600 \
+  --nodes 8 --job-scale 0.02 --warmup 100 --log-level warn --quiet \
+  --telemetry-out "$SMOKE_DIR/telemetry.jsonl" \
+  --perfetto-out "$SMOKE_DIR/perfetto.json"
+test -s "$SMOKE_DIR/telemetry.jsonl"
+test -s "$SMOKE_DIR/perfetto.json"
+grep -q '"type":"sample"' "$SMOKE_DIR/telemetry.jsonl"
+grep -q '"pna.map.p"' "$SMOKE_DIR/telemetry.jsonl"
+grep -q '"traceEvents"' "$SMOKE_DIR/perfetto.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SMOKE_DIR" <<'PY'
+import json, sys
+d = sys.argv[1]
+with open(d + "/telemetry.jsonl") as f:
+    lines = [json.loads(l) for l in f]
+assert any(o["type"] == "sample" for o in lines), "no sample rows"
+assert any(o["type"] == "counter" for o in lines), "no counters"
+assert any(o["type"] == "histogram" for o in lines), "no histograms"
+trace = json.load(open(d + "/perfetto.json"))
+assert trace["traceEvents"], "empty perfetto trace"
+print(f"telemetry smoke: {len(lines)} jsonl lines, "
+      f"{len(trace['traceEvents'])} trace events")
+PY
+fi
 
 echo "==> sanitizer pass: ASan/UBSan test suite"
 cmake -B build-asan -S . "${GENERATOR[@]}" \

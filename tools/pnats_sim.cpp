@@ -23,6 +23,13 @@
 //     --mtbf SECONDS      cluster MTBF for failure injection (default off)
 //     --out DIR           save records under DIR (result_io format)
 //     --trace FILE        write an execution trace CSV
+//     --telemetry-out F   write telemetry JSONL (sampled time-series +
+//                         final counter/gauge/histogram/timer snapshot)
+//     --perfetto-out F    write a Chrome trace-event JSON timeline
+//                         (load at ui.perfetto.dev or chrome://tracing)
+//     --sample-period S   gauge sampling period in sim-seconds (default 10
+//                         when --telemetry-out/--perfetto-out is set)
+//     --log-level NAME    trace|debug|info|warn|off (default warn)
 //     --quiet             summary line only
 //     --help
 //
@@ -42,6 +49,7 @@
 #include <cstring>
 #include <string>
 
+#include "mrs/common/log.hpp"
 #include "mrs/driver/experiment.hpp"
 #include "mrs/driver/result_io.hpp"
 #include "mrs/driver/stream_experiment.hpp"
@@ -59,7 +67,9 @@ using namespace mrs;
       "                 [--placement hdfs|random|skewed]\n"
       "                 [--distance hops|inverse-rate|weighted|load-aware]\n"
       "                 [--straggler-p X] [--speculation] [--mtbf SECONDS]\n"
-      "                 [--out DIR] [--trace FILE] [--quiet]\n"
+      "                 [--out DIR] [--trace FILE] [--telemetry-out FILE]\n"
+      "                 [--perfetto-out FILE] [--sample-period S]\n"
+      "                 [--log-level trace|debug|info|warn|off] [--quiet]\n"
       "                 [--arrivals poisson|mmpp|trace] [--rate JOBS/H]\n"
       "                 [--duration S] [--warmup S] [--arrival-trace CSV]\n"
       "                 [--job-scale X]\n",
@@ -77,6 +87,16 @@ driver::SchedulerKind parse_scheduler(const std::string& s) {
     return driver::SchedulerKind::kPna;
   }
   std::fprintf(stderr, "unknown scheduler '%s'\n", s.c_str());
+  usage(2);
+}
+
+LogLevel parse_log_level(const std::string& s) {
+  if (s == "trace") return LogLevel::kTrace;
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "off") return LogLevel::kOff;
+  std::fprintf(stderr, "unknown log level '%s'\n", s.c_str());
   usage(2);
 }
 
@@ -105,10 +125,12 @@ int main(int argc, char** argv) {
   std::string distance = "load-aware";
   std::string out_dir, trace_path, jobs_file;
   std::string arrivals_mode, arrival_trace;
+  std::string telemetry_out, perfetto_out;
   std::size_t nodes = 60, racks = 1, replication = 2;
   std::uint64_t seed = 42;
   double pmin = 0.4, straggler_p = 0.0, mtbf = 0.0;
   double rate = 60.0, duration = 3600.0, warmup = -1.0, job_scale = 1.0;
+  double sample_period = -1.0;
   bool speculation = false, quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -133,6 +155,10 @@ int main(int argc, char** argv) {
     else if (arg == "--mtbf") mtbf = std::stod(next());
     else if (arg == "--out") out_dir = next();
     else if (arg == "--trace") trace_path = next();
+    else if (arg == "--telemetry-out") telemetry_out = next();
+    else if (arg == "--perfetto-out") perfetto_out = next();
+    else if (arg == "--sample-period") sample_period = std::stod(next());
+    else if (arg == "--log-level") set_log_level(parse_log_level(next()));
     else if (arg == "--arrivals") arrivals_mode = next();
     else if (arg == "--rate") rate = std::stod(next());
     else if (arg == "--duration") duration = std::stod(next());
@@ -158,6 +184,18 @@ int main(int argc, char** argv) {
   cfg.engine.fault.speculative_execution = speculation;
   cfg.failures.cluster_mtbf = mtbf;
   cfg.trace_path = trace_path;
+  cfg.telemetry_path = telemetry_out;
+  cfg.perfetto_path = perfetto_out;
+  if (sample_period != -1.0 && sample_period < 0.0) {
+    std::fputs("--sample-period must be >= 0 sim-seconds\n", stderr);
+    usage(2);
+  }
+  // Sampling defaults on (10 sim-seconds) whenever an exporter wants the
+  // time-series; an explicit --sample-period 0 turns it back off.
+  cfg.sample_period =
+      sample_period >= 0.0
+          ? sample_period
+          : (!telemetry_out.empty() || !perfetto_out.empty() ? 10.0 : 0.0);
   if (placement == "random") {
     cfg.workload.placement = dfs::PlacementPolicy::kRandom;
   } else if (placement == "skewed") {
@@ -256,6 +294,13 @@ int main(int argc, char** argv) {
       driver::save_result(out_dir, "stream", stream.run);
       std::printf("records saved under %s/stream_*.csv\n", out_dir.c_str());
     }
+    if (!telemetry_out.empty()) {
+      std::printf("telemetry written to %s (%zu samples)\n",
+                  telemetry_out.c_str(), stream.run.samples.rows.size());
+    }
+    if (!perfetto_out.empty()) {
+      std::printf("perfetto trace written to %s\n", perfetto_out.c_str());
+    }
     return stream.run.completed ? 0 : 1;
   }
 
@@ -291,6 +336,13 @@ int main(int argc, char** argv) {
   }
   if (!trace_path.empty()) {
     std::printf("trace written to %s\n", trace_path.c_str());
+  }
+  if (!telemetry_out.empty()) {
+    std::printf("telemetry written to %s (%zu samples)\n",
+                telemetry_out.c_str(), result.samples.rows.size());
+  }
+  if (!perfetto_out.empty()) {
+    std::printf("perfetto trace written to %s\n", perfetto_out.c_str());
   }
   return result.completed ? 0 : 1;
 }
