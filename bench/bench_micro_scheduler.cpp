@@ -4,6 +4,9 @@
 // paper's cluster scale (60 nodes, jobs up to ~930 maps / ~200 reduces).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+
 #include "mrs/core/cost_model.hpp"
 #include "mrs/core/pna_scheduler.hpp"
 #include "mrs/core/probability.hpp"
@@ -111,17 +114,107 @@ BENCHMARK(BM_ProbabilityModel);
 void BM_PnaHeartbeat(benchmark::State& state) {
   BenchCluster bc(930, 197);
   core::PnaScheduler pna({}, Rng(4));
+  bc.engine.set_scheduler(&pna);
+  bc.engine.start();
+  bc.sim.run(0.0);  // activate the job (submit_time 0)
   std::size_t node = 0;
   for (auto _ : state) {
-    // One full heartbeat decision (map + reduce side) on a busy job.
-    pna.on_heartbeat(bc.engine, NodeId(node));
+    // One full budgeted heartbeat decision (map + reduce side) on a busy
+    // job, through the engine so the per-heartbeat budgets are armed.
+    bc.engine.heartbeat_now(NodeId(node));
     node = (node + 1) % 60;
-    state.PauseTiming();
-    // Undo any placements so the workload stays constant-ish.
-    state.ResumeTiming();
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PnaHeartbeat)->Iterations(200);
+
+// The incremental-vs-naive scoring case the perf work targets: a 60-node
+// cluster saturated with running work (3 of 4 map slots busy everywhere,
+// every reduce slot busy), two 930-map jobs whose probe-local tasks are
+// already placed, and p_min above 1 - 1/e so every remote offer is scored
+// and skipped. Each heartbeat is then one full Algorithm 1 scan (~800
+// candidates x 60 free nodes) with zero state drift, isolating C_ave:
+// Arg(0) = naive rescans, Arg(1) = incremental row sums + slot index.
+// items_per_second == heartbeats/sec (the number docs/perf.md records).
+struct SaturatedCluster {
+  explicit SaturatedCluster(bool incremental)
+      : topo(net::make_single_rack(60, units::Gbps(1))),
+        store(60),
+        placer(&topo, Rng(1)),
+        clstr(&topo, {}, Rng(2)),
+        network(&sim, &topo),
+        distance(topo),
+        engine(&sim, &clstr, &store, &network, &distance, {}) {
+    core::PnaConfig cfg;
+    cfg.p_min = 0.9;  // > 1 - 1/e: every uniform remote offer is skipped
+    cfg.incremental_scoring = incremental;
+    pna = std::make_unique<core::PnaScheduler>(cfg, Rng(4));
+    clstr.set_naive_free_scan(!incremental);
+
+    for (int jj = 0; jj < 2; ++jj) {
+      mapreduce::JobSpec spec;
+      spec.name = "sat" + std::to_string(jj);
+      spec.reduce_count = 197;
+      for (std::size_t j = 0; j < 930; ++j) {
+        const BlockId b = store.add_block(
+            128.0 * units::kMiB,
+            placer.place(2, dfs::PlacementPolicy::kHdfsDefault));
+        spec.map_tasks.push_back({b, 128.0 * units::kMiB});
+      }
+      jobs[jj] = &engine.submit(std::move(spec), Rng(30 + jj));
+    }
+    // Tasks local to a probe node are already running: the local fast
+    // path never fires and every probe heartbeat takes the full scan.
+    for (auto* job : jobs) {
+      for (std::size_t j = 0; j < job->map_count(); ++j) {
+        for (NodeId r : store.replicas(job->spec().map_tasks[j].block)) {
+          if (r.value() < kProbes) {
+            auto& m = job->map_state(j);
+            m.node = r;
+            m.phase = mapreduce::MapPhase::kComputing;
+            m.compute_start = 0.0;
+            m.compute_duration = 1e6;
+            break;
+          }
+        }
+      }
+    }
+    // Saturate: 3 of 4 map slots busy on every node (all 60 stay in N_m),
+    // every reduce slot busy (the reduce walk is skipped entirely).
+    for (std::size_t n = 0; n < 60; ++n) {
+      for (int s = 0; s < 3; ++s) clstr.occupy_map_slot(NodeId(n));
+      for (int s = 0; s < 2; ++s) clstr.occupy_reduce_slot(NodeId(n));
+    }
+    engine.set_scheduler(pna.get());
+    engine.start();
+    sim.run(0.0);  // activate both jobs
+  }
+
+  static constexpr std::size_t kProbes = 4;
+
+  sim::Simulation sim;
+  net::Topology topo;
+  dfs::BlockStore store;
+  dfs::BlockPlacer placer;
+  cluster::Cluster clstr;
+  sim::NetworkService network;
+  net::HopDistanceProvider distance;
+  mapreduce::Engine engine;
+  std::unique_ptr<core::PnaScheduler> pna;
+  mapreduce::JobRun* jobs[2] = {nullptr, nullptr};
+};
+
+void BM_PnaHeartbeatSaturated(benchmark::State& state) {
+  SaturatedCluster sc(state.range(0) == 1);
+  std::size_t probe = 0;
+  for (auto _ : state) {
+    sc.engine.heartbeat_now(NodeId(probe));
+    probe = (probe + 1) % SaturatedCluster::kProbes;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(state.range(0) == 1 ? "incremental" : "naive");
+}
+BENCHMARK(BM_PnaHeartbeatSaturated)->Arg(0)->Arg(1);
 
 void BM_FlowRecompute(benchmark::State& state) {
   const auto topo = net::make_single_rack(60, units::Gbps(1));

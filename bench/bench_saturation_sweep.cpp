@@ -10,6 +10,11 @@
 // number a closed batch (makespan) experiment cannot measure.
 //
 // Output: bench_out/saturation_sweep.csv + a stdout table per scheduler.
+//
+// PNATS_NAIVE=1 forces the naive full-scan scheduler path
+// (ExperimentConfig::naive_scheduler_path) so the incremental-scoring
+// speedup can be measured as the ratio of the reported wall times.
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -33,6 +38,11 @@ constexpr double kRates[] = {150.0, 300.0, 450.0, 600.0, 750.0, 900.0};
 constexpr Seconds kDuration = 600.0;
 constexpr Seconds kWarmup = 100.0;
 
+bool naive_path() {
+  const char* env = std::getenv("PNATS_NAIVE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 driver::StreamConfig sweep_config(driver::SchedulerKind sched, double rate) {
   driver::StreamConfig cfg;
   // Dummy batch: the stream overwrites base.jobs with the arrivals.
@@ -40,6 +50,7 @@ driver::StreamConfig sweep_config(driver::SchedulerKind sched, double rate) {
                                       mapreduce::JobKind::kWordcount),
                                   sched, bench::kSeed);
   cfg.base.nodes = kNodes;
+  cfg.base.naive_scheduler_path = naive_path();
   cfg.arrivals.process = workload::ArrivalProcess::kPoisson;
   cfg.arrivals.rate_per_hour = rate;
   cfg.arrivals.duration = kDuration;
@@ -116,7 +127,24 @@ int main() {
                r.run.completed ? "1" : "0"});
     }
   }
-  std::printf("\nwrote bench_out/saturation_sweep.csv (%zu rows)\n",
+  // Scheduling-path wall time across the whole sweep: run with and without
+  // PNATS_NAIVE=1 to get the before/after numbers in docs/perf.md.
+  std::uint64_t run_wall_ns = 0, score_wall_ns = 0, score_calls = 0;
+  for (const auto& r : results) {
+    for (const auto& t : r.run.telemetry.timers) {
+      if (t.name == "driver.run_wall") run_wall_ns += t.total_ns;
+      if (t.name == "pna.score_wall") {
+        score_wall_ns += t.total_ns;
+        score_calls += t.count;
+      }
+    }
+  }
+  std::printf("\n[%s path] driver.run_wall total %.3f s; pna.score_wall "
+              "total %.3f ms over %llu scoring scans\n",
+              naive_path() ? "naive" : "incremental", run_wall_ns * 1e-9,
+              score_wall_ns * 1e-6,
+              static_cast<unsigned long long>(score_calls));
+  std::printf("wrote bench_out/saturation_sweep.csv (%zu rows)\n",
               results.size());
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "mrs/cluster/cluster.hpp"
 
+#include <algorithm>
+
 namespace mrs::cluster {
 
 Cluster::Cluster(const net::Topology* topo, const NodeConfig& cfg, Rng rng)
@@ -22,6 +24,65 @@ Cluster::Cluster(const net::Topology* topo, const NodeConfig& cfg, Rng rng)
     total_map_ += cfg.map_slots;
     total_reduce_ += cfg.reduce_slots;
   }
+  // Every node starts alive with all slots free.
+  free_map_index_.reserve(nodes_.size());
+  free_reduce_index_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    free_map_index_.push_back(NodeId(i));
+    if (cfg.reduce_slots > 0) free_reduce_index_.push_back(NodeId(i));
+  }
+}
+
+void Cluster::index_insert(std::vector<NodeId>& index, NodeId id) {
+  const auto it = std::lower_bound(
+      index.begin(), index.end(), id,
+      [](NodeId a, NodeId b) { return a.value() < b.value(); });
+  MRS_ASSERT(it == index.end() || *it != id);
+  index.insert(it, id);
+}
+
+void Cluster::index_erase(std::vector<NodeId>& index, NodeId id) {
+  const auto it = std::lower_bound(
+      index.begin(), index.end(), id,
+      [](NodeId a, NodeId b) { return a.value() < b.value(); });
+  MRS_ASSERT(it != index.end() && *it == id);
+  index.erase(it);
+}
+
+void Cluster::note_map_toggle(NodeId id, bool now_free) {
+  if (now_free) {
+    index_insert(free_map_index_, id);
+  } else {
+    index_erase(free_map_index_, id);
+  }
+  ++free_map_version_;
+  if (map_journal_.size() >= kJournalCap) {
+    // Drop the older half; consumers lagging past the retained window
+    // rebuild from the full set (free_map_toggles_since returns nullopt).
+    const std::size_t drop = map_journal_.size() / 2;
+    map_journal_.erase(map_journal_.begin(),
+                       map_journal_.begin() +
+                           static_cast<std::ptrdiff_t>(drop));
+    map_journal_base_ += drop;
+  }
+  map_journal_.push_back({id, now_free});
+}
+
+void Cluster::note_reduce_toggle(NodeId id, bool now_free) {
+  if (now_free) {
+    index_insert(free_reduce_index_, id);
+  } else {
+    index_erase(free_reduce_index_, id);
+  }
+  ++free_reduce_version_;
+  if (reduce_journal_.size() >= kJournalCap) {
+    const std::size_t drop = reduce_journal_.size() / 2;
+    reduce_journal_.erase(reduce_journal_.begin(),
+                          reduce_journal_.begin() +
+                              static_cast<std::ptrdiff_t>(drop));
+    reduce_journal_base_ += drop;
+  }
+  reduce_journal_.push_back({id, now_free});
 }
 
 void Cluster::occupy_map_slot(NodeId id) {
@@ -29,12 +90,17 @@ void Cluster::occupy_map_slot(NodeId id) {
   MRS_REQUIRE(n.alive);
   MRS_REQUIRE(n.busy_map_slots < n.map_slots);
   ++n.busy_map_slots;
+  ++busy_map_total_;
+  if (n.free_map_slots() == 0) note_map_toggle(id, /*now_free=*/false);
 }
 
 void Cluster::release_map_slot(NodeId id) {
   NodeState& n = mutable_node(id);
   MRS_REQUIRE(n.busy_map_slots > 0);
+  const bool was_empty = n.free_map_slots() == 0;
   --n.busy_map_slots;
+  --busy_map_total_;
+  if (was_empty && n.alive) note_map_toggle(id, /*now_free=*/true);
 }
 
 void Cluster::occupy_reduce_slot(NodeId id) {
@@ -42,12 +108,17 @@ void Cluster::occupy_reduce_slot(NodeId id) {
   MRS_REQUIRE(n.alive);
   MRS_REQUIRE(n.busy_reduce_slots < n.reduce_slots);
   ++n.busy_reduce_slots;
+  ++busy_reduce_total_;
+  if (n.free_reduce_slots() == 0) note_reduce_toggle(id, /*now_free=*/false);
 }
 
 void Cluster::release_reduce_slot(NodeId id) {
   NodeState& n = mutable_node(id);
   MRS_REQUIRE(n.busy_reduce_slots > 0);
+  const bool was_empty = n.free_reduce_slots() == 0;
   --n.busy_reduce_slots;
+  --busy_reduce_total_;
+  if (was_empty && n.alive) note_reduce_toggle(id, /*now_free=*/true);
 }
 
 void Cluster::set_node_alive(NodeId id, bool alive) {
@@ -55,7 +126,18 @@ void Cluster::set_node_alive(NodeId id, bool alive) {
   if (!alive) {
     MRS_REQUIRE(n.busy_map_slots == 0 && n.busy_reduce_slots == 0);
   }
+  if (n.alive == alive) return;
+  // With zero occupancy, aliveness alone decides membership: a node drain
+  // removes it from both free sets, a recovery re-inserts it.
+  const bool map_member = n.free_map_slots() > 0;
+  const bool reduce_member = n.free_reduce_slots() > 0;
   n.alive = alive;
+  if ((n.free_map_slots() > 0) != map_member) {
+    note_map_toggle(id, /*now_free=*/!map_member);
+  }
+  if ((n.free_reduce_slots() > 0) != reduce_member) {
+    note_reduce_toggle(id, /*now_free=*/!reduce_member);
+  }
 }
 
 std::size_t Cluster::alive_node_count() const {
@@ -64,32 +146,44 @@ std::size_t Cluster::alive_node_count() const {
   return count;
 }
 
-std::vector<NodeId> Cluster::nodes_with_free_map_slots() const {
-  std::vector<NodeId> out;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].free_map_slots() > 0) out.push_back(NodeId(i));
+const std::vector<NodeId>& Cluster::nodes_with_free_map_slots() const {
+  if (naive_free_scan_) {
+    scan_cache_.clear();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].free_map_slots() > 0) scan_cache_.push_back(NodeId(i));
+    }
+    return scan_cache_;
   }
-  return out;
+  return free_map_index_;
 }
 
-std::vector<NodeId> Cluster::nodes_with_free_reduce_slots() const {
-  std::vector<NodeId> out;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].free_reduce_slots() > 0) out.push_back(NodeId(i));
+const std::vector<NodeId>& Cluster::nodes_with_free_reduce_slots() const {
+  if (naive_free_scan_) {
+    scan_cache_.clear();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].free_reduce_slots() > 0) scan_cache_.push_back(NodeId(i));
+    }
+    return scan_cache_;
   }
-  return out;
+  return free_reduce_index_;
 }
 
-std::size_t Cluster::busy_map_slots() const {
-  std::size_t n = 0;
-  for (const auto& s : nodes_) n += s.busy_map_slots;
-  return n;
+std::optional<std::span<const SlotToggle>> Cluster::free_map_toggles_since(
+    std::uint64_t since) const {
+  MRS_REQUIRE(since <= free_map_version_);
+  if (since < map_journal_base_) return std::nullopt;  // window lost
+  const std::size_t first = since - map_journal_base_;
+  return std::span<const SlotToggle>(map_journal_.data() + first,
+                                     map_journal_.size() - first);
 }
 
-std::size_t Cluster::busy_reduce_slots() const {
-  std::size_t n = 0;
-  for (const auto& s : nodes_) n += s.busy_reduce_slots;
-  return n;
+std::optional<std::span<const SlotToggle>> Cluster::free_reduce_toggles_since(
+    std::uint64_t since) const {
+  MRS_REQUIRE(since <= free_reduce_version_);
+  if (since < reduce_journal_base_) return std::nullopt;
+  const std::size_t first = since - reduce_journal_base_;
+  return std::span<const SlotToggle>(reduce_journal_.data() + first,
+                                     reduce_journal_.size() - first);
 }
 
 }  // namespace mrs::cluster

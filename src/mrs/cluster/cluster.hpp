@@ -5,9 +5,21 @@
 // heartbeats with per-node free-slot counts; this module owns that
 // accounting plus per-node execution parameters (CPU speed factor, local
 // disk rate).
+//
+// The N_m / N_r free-slot sets of Algorithms 1 and 2 are maintained
+// incrementally: membership only changes on a node's 0 <-> 1-free-slots
+// transition (at most one node per assign/finish), so the sorted index
+// vectors are patched in place and `nodes_with_free_*_slots()` returns a
+// cached reference instead of scanning and allocating per heartbeat. A
+// monotonic version counter plus a bounded toggle journal lets consumers
+// (the per-job C_ave row-sum cache) patch their own aggregates by
+// +/- distance(task, toggled node) instead of rescanning the set.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "mrs/common/ids.hpp"
@@ -44,6 +56,14 @@ struct NodeState {
   }
 };
 
+/// One free-set membership change: `node` entered (now_free) or left the
+/// free-slot set. Journal entry i after version v corresponds to the
+/// transition from version v + i to v + i + 1.
+struct SlotToggle {
+  NodeId node;
+  bool now_free = false;
+};
+
 class Cluster {
  public:
   /// Builds one NodeState per topology host. `rng` drives the speed-factor
@@ -71,16 +91,44 @@ class Cluster {
   [[nodiscard]] std::size_t alive_node_count() const;
 
   /// Nodes that currently have at least one free map/reduce slot — the
-  /// N_m / N_r sets of Algorithms 1 and 2.
-  [[nodiscard]] std::vector<NodeId> nodes_with_free_map_slots() const;
-  [[nodiscard]] std::vector<NodeId> nodes_with_free_reduce_slots() const;
+  /// N_m / N_r sets of Algorithms 1 and 2, ascending by node id. The
+  /// reference stays valid only until the next slot mutation (schedulers
+  /// read it within one decision; none hold it across an assign).
+  [[nodiscard]] const std::vector<NodeId>& nodes_with_free_map_slots() const;
+  [[nodiscard]] const std::vector<NodeId>& nodes_with_free_reduce_slots()
+      const;
+
+  /// Monotonic version of the free-map / free-reduce sets; bumped on every
+  /// membership change. Consumers cache aggregates keyed by this.
+  [[nodiscard]] std::uint64_t free_map_version() const {
+    return free_map_version_;
+  }
+  [[nodiscard]] std::uint64_t free_reduce_version() const {
+    return free_reduce_version_;
+  }
+
+  /// Membership toggles from version `since` (exclusive) to the current
+  /// version, oldest first. nullopt when `since` predates the retained
+  /// journal window — the consumer must rebuild from the full set.
+  [[nodiscard]] std::optional<std::span<const SlotToggle>>
+  free_map_toggles_since(std::uint64_t since) const;
+  [[nodiscard]] std::optional<std::span<const SlotToggle>>
+  free_reduce_toggles_since(std::uint64_t since) const;
+
+  /// Equivalence/debug mode: recompute the free lists by a full O(nodes)
+  /// scan on every call (the pre-index behavior) instead of returning the
+  /// incrementally maintained vectors. Contents are identical either way;
+  /// the naive-path experiment runs use this to prove it.
+  void set_naive_free_scan(bool naive) { naive_free_scan_ = naive; }
 
   [[nodiscard]] std::size_t total_map_slots() const { return total_map_; }
   [[nodiscard]] std::size_t total_reduce_slots() const {
     return total_reduce_;
   }
-  [[nodiscard]] std::size_t busy_map_slots() const;
-  [[nodiscard]] std::size_t busy_reduce_slots() const;
+  [[nodiscard]] std::size_t busy_map_slots() const { return busy_map_total_; }
+  [[nodiscard]] std::size_t busy_reduce_slots() const {
+    return busy_reduce_total_;
+  }
 
  private:
   NodeState& mutable_node(NodeId id) {
@@ -88,10 +136,35 @@ class Cluster {
     return nodes_[id.value()];
   }
 
+  /// Patch one sorted index after `id`'s free count crossed 0 <-> nonzero.
+  void index_insert(std::vector<NodeId>& index, NodeId id);
+  void index_erase(std::vector<NodeId>& index, NodeId id);
+  void note_map_toggle(NodeId id, bool now_free);
+  void note_reduce_toggle(NodeId id, bool now_free);
+
   const net::Topology* topo_;
   std::vector<NodeState> nodes_;
   std::size_t total_map_ = 0;
   std::size_t total_reduce_ = 0;
+  std::size_t busy_map_total_ = 0;
+  std::size_t busy_reduce_total_ = 0;
+
+  // Incremental free-slot index (sorted ascending, matching the scan
+  // order of the naive implementation) + version + toggle journal.
+  std::vector<NodeId> free_map_index_;
+  std::vector<NodeId> free_reduce_index_;
+  std::uint64_t free_map_version_ = 0;
+  std::uint64_t free_reduce_version_ = 0;
+  // map_journal_[i] is the toggle from version map_journal_base_ + i to
+  // map_journal_base_ + i + 1; trimmed when it outgrows kJournalCap.
+  static constexpr std::size_t kJournalCap = 4096;
+  std::vector<SlotToggle> map_journal_;
+  std::vector<SlotToggle> reduce_journal_;
+  std::uint64_t map_journal_base_ = 0;
+  std::uint64_t reduce_journal_base_ = 0;
+
+  bool naive_free_scan_ = false;
+  mutable std::vector<NodeId> scan_cache_;  ///< naive-mode scratch
 };
 
 }  // namespace mrs::cluster

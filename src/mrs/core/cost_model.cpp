@@ -76,10 +76,12 @@ ReduceCostEvaluator::ReduceCostEvaluator(const mapreduce::Engine& engine,
       candidates_(std::move(candidates)) {
   const auto& sources = snapshot_.source_nodes();
   dist_.resize(candidates_.size() * sources.size());
+  colsum_.assign(sources.size(), 0.0);
   for (std::size_t c = 0; c < candidates_.size(); ++c) {
     for (std::size_t s = 0; s < sources.size(); ++s) {
-      dist_[c * sources.size() + s] =
-          engine.distance(NodeId(sources[s]), candidates_[c]);
+      const double d = engine.distance(NodeId(sources[s]), candidates_[c]);
+      dist_[c * sources.size() + s] = d;
+      colsum_[s] += d;
     }
   }
 }
@@ -97,9 +99,10 @@ double ReduceCostEvaluator::cost(std::size_t candidate_index,
 
 double ReduceCostEvaluator::average_cost(std::size_t f) const {
   MRS_REQUIRE(!candidates_.empty());
+  const auto& sources = snapshot_.source_nodes();
   double sum = 0.0;
-  for (std::size_t c = 0; c < candidates_.size(); ++c) {
-    sum += cost(c, f);
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    sum += colsum_[s] * snapshot_.bytes_from(sources[s], f);
   }
   return sum / static_cast<double>(candidates_.size());
 }

@@ -89,6 +89,9 @@ class ReduceCostEvaluator {
                             std::size_t f) const;
 
   /// Average of cost(k, f) over all candidates — the C_r_ave of Eq. 5.
+  /// Reassociated: sum_c sum_s dist[c,s]*W[s,f] = sum_s colsum[s]*W[s,f]
+  /// with colsum[s] = sum_c dist[c,s] precomputed once per decision, so
+  /// each call is O(#sources) instead of O(#candidates x #sources).
   [[nodiscard]] double average_cost(std::size_t f) const;
 
   [[nodiscard]] const std::vector<NodeId>& candidates() const {
@@ -103,6 +106,8 @@ class ReduceCostEvaluator {
   std::vector<NodeId> candidates_;
   /// dist_[c * sources + s] = h(source s, candidate c).
   std::vector<double> dist_;
+  /// colsum_[s] = sum over candidates c of dist_[c * sources + s].
+  std::vector<double> colsum_;
 };
 
 }  // namespace mrs::core

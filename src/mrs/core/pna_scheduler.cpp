@@ -44,6 +44,10 @@ void PnaScheduler::on_heartbeat(Engine& engine, NodeId node) {
   // Map slots: walk jobs in policy order; a failed attempt (skip or lost
   // Bernoulli draw) moves on to the next job, so one bad fit doesn't idle
   // the whole node, but no job gets a second draw within one heartbeat.
+  // A job with nothing left to offer is *not* a failed attempt: Algorithm 1
+  // Line 11 breaks only on a lost draw / P_min skip, so an exhausted job
+  // always advances the walk (otherwise a fully-assigned front job idles
+  // the node while later jobs starve).
   {
     auto jobs = jobs_for_maps(engine, cfg_.job_order);
     std::size_t ji = 0;
@@ -51,7 +55,11 @@ void PnaScheduler::on_heartbeat(Engine& engine, NodeId node) {
            engine.cluster().node(node).free_map_slots() > 0 &&
            ji < jobs.size()) {
       JobRun& job = *jobs[ji];
-      if (job.maps_unassigned() == 0 || !schedule_map(engine, job, node)) {
+      if (job.maps_unassigned() == 0) {
+        ++ji;  // exhausted mid-heartbeat: offer the slot to the next job
+        continue;
+      }
+      if (!schedule_map(engine, job, node)) {
         if (!cfg_.walk_jobs_on_failure) break;  // Algorithm 1 Line 11
         ++ji;
       }
@@ -69,8 +77,11 @@ void PnaScheduler::on_heartbeat(Engine& engine, NodeId node) {
         ++ji;  // the colocation gate always moves on to the next job
         continue;
       }
-      if (job.reduces_unassigned() == 0 ||
-          !schedule_reduce(engine, job, node)) {
+      if (job.reduces_unassigned() == 0) {
+        ++ji;  // exhausted mid-heartbeat (Algorithm 2 Line 12 is a draw
+        continue;  // failure, not exhaustion)
+      }
+      if (!schedule_reduce(engine, job, node)) {
         if (!cfg_.walk_jobs_on_failure) break;  // Algorithm 2 Line 12
         ++ji;
       }
@@ -95,22 +106,33 @@ bool PnaScheduler::schedule_map(Engine& engine, JobRun& job, NodeId node) {
   }
 
   // Full Algorithm 1: score every unassigned candidate.
-  const std::vector<NodeId> n_m = engine.cluster().nodes_with_free_map_slots();
+  const std::vector<NodeId>& n_m =
+      engine.cluster().nodes_with_free_map_slots();
   MRS_ASSERT(!n_m.empty());  // `node` itself has a free map slot
 
   double best_p = -1.0;
   std::size_t best_task = job.map_count();
   std::uint64_t candidates = 0;
   const bool cached = job.has_static_costs();
+  // Fast C_ave: the per-task row sum over N_m is maintained incrementally
+  // (patched by +/- distance on free-set toggles). Only provably exact —
+  // and therefore only enabled — for integral static distances, where the
+  // patched double sum is bit-identical to the naive rescan below.
+  const bool incremental =
+      cfg_.incremental_scoring && cached && job.static_costs_integral();
   {
     telemetry::ScopedTimer score_timer(metrics_.score_wall);
+    if (incremental) job.sync_free_map_sums(engine.cluster());
     for (std::size_t j = 0; j < job.map_count(); ++j) {
       if (job.map_state(j).phase != mapreduce::MapPhase::kUnassigned) {
         continue;
       }
       ++candidates;
       double c_ij, c_sum = 0.0;
-      if (cached) {
+      if (incremental) {
+        c_ij = job.static_min_distance(j, node);                  // Line 4
+        c_sum = job.static_free_map_sum(j);                       // Line 6
+      } else if (cached) {
         // B_j scales cost and average identically, so it cancels out of the
         // ratio C_ave / C_ij — work with raw distances.
         c_ij = job.static_min_distance(j, node);                  // Line 4
@@ -128,8 +150,10 @@ bool PnaScheduler::schedule_map(Engine& engine, JobRun& job, NodeId node) {
     }
   }
   telemetry::inc(metrics_.map_candidates, candidates);
-  // Per candidate: C_ij once plus one term per node with a free map slot.
-  telemetry::inc(metrics_.map_cost_evals, candidates * (1 + n_m.size()));
+  // Per candidate: C_ij once plus (on the naive path) one term per node
+  // with a free map slot; the incremental path reads one cached sum.
+  telemetry::inc(metrics_.map_cost_evals,
+                 candidates * (incremental ? 2 : 1 + n_m.size()));
   if (best_task == job.map_count()) return false;  // no unassigned task
 
   telemetry::observe(metrics_.map_p, best_p);
@@ -151,12 +175,12 @@ bool PnaScheduler::schedule_reduce(Engine& engine, JobRun& job, NodeId node) {
   ++reduce_attempts_;
   telemetry::inc(metrics_.reduce_attempts);
 
-  const std::vector<NodeId> n_r =
+  const std::vector<NodeId>& n_r =
       engine.cluster().nodes_with_free_reduce_slots();
   MRS_ASSERT(!n_r.empty());
-  const auto self =
-      std::find(n_r.begin(), n_r.end(), node);
-  MRS_ASSERT(self != n_r.end());
+  // The free index is sorted ascending, so self lookup is a binary search.
+  const auto self = std::lower_bound(n_r.begin(), n_r.end(), node);
+  MRS_ASSERT(self != n_r.end() && *self == node);
   const auto self_index = static_cast<std::size_t>(self - n_r.begin());
 
   ReduceCostEvaluator eval(engine, job, cfg_.estimator, n_r);

@@ -36,8 +36,16 @@ struct PnaConfig {
   /// job-level pick, offer the slot to the next job in policy order
   /// instead of ending the heartbeat. The paper's pseudocode returns
   /// immediately (false); walking on trades placement quality for
-  /// utilization.
+  /// utilization. A job with no task left to offer always advances the
+  /// walk regardless — exhaustion is not a failed draw.
   bool walk_jobs_on_failure = false;
+  /// Use the incremental C_ave fast path (per-job row sums over the
+  /// cluster's free-slot index, patched on membership toggles) when the
+  /// job's static costs are integral — decision-identical to the naive
+  /// full scan (integer sums in double are exact). Off = recompute the
+  /// Eq. 4 average by scanning every free node per candidate task (the
+  /// naive path the equivalence tests compare against).
+  bool incremental_scoring = true;
 };
 
 class PnaScheduler final : public mapreduce::TaskScheduler {

@@ -43,8 +43,11 @@ std::unique_ptr<mapreduce::TaskScheduler> make_scheduler(
       return std::make_unique<sched::LartsScheduler>(cfg.larts);
     case SchedulerKind::kMinCost:
       return std::make_unique<sched::MinCostScheduler>(cfg.mincost);
-    case SchedulerKind::kPna:
-      return std::make_unique<core::PnaScheduler>(cfg.pna, std::move(rng));
+    case SchedulerKind::kPna: {
+      core::PnaConfig pna = cfg.pna;
+      if (cfg.naive_scheduler_path) pna.incremental_scoring = false;
+      return std::make_unique<core::PnaScheduler>(pna, std::move(rng));
+    }
   }
   MRS_REQUIRE(false && "unknown scheduler kind");
   return nullptr;
@@ -89,6 +92,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   sim::Simulation simulation;
   cluster::Cluster cluster(&topo, cfg.node, root.split("cluster"));
+  if (cfg.naive_scheduler_path) cluster.set_naive_free_scan(true);
   sim::NetworkService network(&simulation, &topo, cond.get());
 
   std::unique_ptr<net::DistanceProvider> distance;
@@ -210,6 +214,16 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
   result.task_records = engine.task_records();
   result.job_records = engine.job_records();
+  if (!result.completed) {
+    // Truncated run: append sentinel records (finish_time = -1) so the
+    // steady-state metrics can count the stranded jobs instead of seeing
+    // them vanish (or worse, fold a bogus completion time into the
+    // percentiles).
+    auto unfinished = engine.unfinished_job_records();
+    result.job_records.insert(result.job_records.end(),
+                              std::make_move_iterator(unfinished.begin()),
+                              std::make_move_iterator(unfinished.end()));
+  }
   result.utilization = engine.utilization();
   for (const auto& j : result.job_records) {
     result.makespan = std::max(result.makespan, j.finish_time);

@@ -95,6 +95,12 @@ struct ExperimentConfig {
   sched::LartsConfig larts;
   sched::MinCostConfig mincost;
 
+  /// Disable every incremental scoring structure: the cluster's free-slot
+  /// index falls back to a full node scan per query and the PNA scheduler
+  /// recomputes C_ave naively. Placements must be byte-identical either
+  /// way — the equivalence tests run each config both ways and compare.
+  bool naive_scheduler_path = false;
+
   std::uint64_t seed = 42;
   /// Safety stop: abort (and fail) if the simulation exceeds this.
   Seconds max_sim_time = 1e7;

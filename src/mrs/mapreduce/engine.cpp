@@ -819,6 +819,28 @@ void Engine::record_task(const JobRun& job, bool is_map, std::size_t index) {
   task_records_.push_back(rec);
 }
 
+std::vector<JobRecord> Engine::unfinished_job_records() const {
+  std::vector<JobRecord> out;
+  for (const auto& job_ptr : jobs_) {
+    const JobRun& job = *job_ptr;
+    if (job.finish_time >= 0.0) continue;  // completed: in job_records()
+    JobRecord rec;
+    rec.id = job.id();
+    rec.name = job.spec().name;
+    rec.kind = job.spec().kind;
+    rec.map_count = job.map_count();
+    rec.reduce_count = job.reduce_count();
+    rec.input_bytes = job.spec().total_input();
+    for (std::size_t j = 0; j < job.map_count(); ++j) {
+      rec.shuffle_bytes += job.total_map_output(j);
+    }
+    rec.submit_time = job.submit_time;
+    rec.finish_time = -1.0;  // truncated before completion
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
 void Engine::check_job_complete(JobRun& job) {
   if (!job.complete() || job.finish_time >= 0.0) return;
   job.finish_time = now();

@@ -191,6 +191,12 @@ class Engine {
     return speculative_attempts_;
   }
 
+  /// Serve one heartbeat from `node` immediately, exactly as the periodic
+  /// HeartbeatService would (budgets reset, speculation pass, scheduler
+  /// callback). For tests and micro-benchmarks that need to drive the
+  /// scheduler outside the simulation clock.
+  void heartbeat_now(NodeId node) { on_heartbeat(node); }
+
   // --- results ---
   [[nodiscard]] const std::vector<TaskRecord>& task_records() const {
     return task_records_;
@@ -198,6 +204,10 @@ class Engine {
   [[nodiscard]] const std::vector<JobRecord>& job_records() const {
     return job_records_;
   }
+  /// Records for jobs still incomplete (truncated run): same fields as a
+  /// completed JobRecord but finish_time = -1.0, the "never finished"
+  /// sentinel (finish_time < submit_time identifies them downstream).
+  [[nodiscard]] std::vector<JobRecord> unfinished_job_records() const;
   [[nodiscard]] UtilizationSummary utilization() const;
 
  private:

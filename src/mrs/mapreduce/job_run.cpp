@@ -182,6 +182,11 @@ void JobRun::build_static_costs(
     const std::function<double(NodeId, NodeId)>& dist) {
   static_nodes_ = node_count;
   static_min_dist_.assign(maps_.size() * node_count, 0.0);
+  static_costs_integral_ = true;
+  // Exactness bound for the incremental row sums: with every distance an
+  // integer <= 2^20 and <= 2^30 summed terms, partial sums stay below
+  // 2^50 < 2^53 and double arithmetic on them is exact.
+  constexpr double kMaxExactDistance = 1048576.0;  // 2^20
   for (std::size_t j = 0; j < maps_.size(); ++j) {
     const std::vector<NodeId>& replicas = replica_nodes(j);
     MRS_REQUIRE(!replicas.empty());
@@ -191,8 +196,54 @@ void JobRun::build_static_costs(
         best = std::min(best, dist(NodeId(k), l));
       }
       static_min_dist_[j * node_count + k] = best;
+      if (best != std::floor(best) || best < 0.0 ||
+          best > kMaxExactDistance) {
+        static_costs_integral_ = false;
+      }
     }
   }
+}
+
+void JobRun::sync_free_map_sums(const cluster::Cluster& cluster) {
+  MRS_REQUIRE(has_static_costs());
+  const std::uint64_t version = cluster.free_map_version();
+  if (free_map_sum_valid_ && version == free_map_sum_version_) return;
+
+  const std::vector<NodeId>& free_nodes =
+      cluster.nodes_with_free_map_slots();
+  const std::size_t m = maps_.size();
+  bool patched = false;
+  if (free_map_sum_valid_) {
+    const auto toggles = cluster.free_map_toggles_since(free_map_sum_version_);
+    // Replaying beats rebuilding only while there are fewer toggles than
+    // nodes in the set (each costs one O(m) column pass either way).
+    if (toggles.has_value() && toggles->size() < free_nodes.size()) {
+      for (const cluster::SlotToggle& t : *toggles) {
+        const double* col = static_min_dist_.data() + t.node.value();
+        if (t.now_free) {
+          for (std::size_t j = 0; j < m; ++j) {
+            free_map_sum_[j] += col[j * static_nodes_];
+          }
+        } else {
+          for (std::size_t j = 0; j < m; ++j) {
+            free_map_sum_[j] -= col[j * static_nodes_];
+          }
+        }
+      }
+      patched = true;
+    }
+  }
+  if (!patched) {
+    free_map_sum_.assign(m, 0.0);
+    for (NodeId k : free_nodes) {
+      const double* col = static_min_dist_.data() + k.value();
+      for (std::size_t j = 0; j < m; ++j) {
+        free_map_sum_[j] += col[j * static_nodes_];
+      }
+    }
+  }
+  free_map_sum_version_ = version;
+  free_map_sum_valid_ = true;
 }
 
 void JobRun::rewind_placement_cursors() {

@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "mrs/cluster/cluster.hpp"
 #include "mrs/common/check.hpp"
 #include "mrs/common/ids.hpp"
 #include "mrs/common/rng.hpp"
@@ -214,6 +215,26 @@ class JobRun {
   [[nodiscard]] double static_min_distance(std::size_t j, NodeId k) const {
     return static_min_dist_[j * static_nodes_ + k.value()];
   }
+  /// True when every static distance is a small integer (hop counts, the
+  /// default). Integer sums in double are exact, so the incremental
+  /// +/- patching below is bit-identical to a fresh scan — the provable-
+  /// equivalence precondition for the fast C_ave path.
+  [[nodiscard]] bool static_costs_integral() const {
+    return static_costs_integral_;
+  }
+
+  // --- incremental C_ave row sums (Algorithm 1 fast path) ---
+  /// Bring the per-task row sums over the cluster's free-map-slot set up
+  /// to the cluster's current free-map version: replay the toggle journal
+  /// (+/- static_min_distance(task, toggled node) per task), or rebuild
+  /// from the full set when the journal window was lost or replay would
+  /// cost more than a rebuild. Requires has_static_costs().
+  void sync_free_map_sums(const cluster::Cluster& cluster);
+  /// Sum of static_min_distance(j, k) over the free-map-slot set as of the
+  /// last sync — the C_ave numerator of Eq. 4 in O(1).
+  [[nodiscard]] double static_free_map_sum(std::size_t j) const {
+    return free_map_sum_[j];
+  }
 
   // --- lifecycle bookkeeping (engine use) ---
   void note_map_assigned() { --maps_unassigned_; }
@@ -274,6 +295,14 @@ class JobRun {
   // Static min-replica-distance cache [task][node].
   std::vector<double> static_min_dist_;
   std::size_t static_nodes_ = 0;
+  bool static_costs_integral_ = false;
+  // Per-task row sums over the free-map-slot set, valid at version
+  // free_map_sum_version_ of the owning cluster's free-map set. Kept for
+  // every task (assigned ones included) — simpler and patching is O(1)
+  // per (toggle, task) either way.
+  std::vector<double> free_map_sum_;
+  std::uint64_t free_map_sum_version_ = 0;
+  bool free_map_sum_valid_ = false;
   std::vector<Bytes> intermediate_;      ///< I matrix, row-major [map][reduce]
   std::vector<Bytes> map_output_total_;  ///< row sums of I
   std::size_t maps_unassigned_ = 0;

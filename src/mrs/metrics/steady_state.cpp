@@ -53,12 +53,22 @@ SteadyStateSummary steady_state_summary(
   double in_system_integral = 0.0;
   double offered_bytes = 0.0;
   for (const auto& j : jobs) {
-    in_system_integral += overlap(j.submit_time, j.finish_time, window);
-    if (window.contains(j.finish_time)) ++out.jobs_completed;
+    // finish_time < submit_time is the truncation sentinel: the job never
+    // finished, so it occupies the system through the end of the window
+    // and has no response time (pushing its negative completion_time()
+    // would corrupt every percentile).
+    const bool finished = j.finish_time >= j.submit_time;
+    in_system_integral +=
+        overlap(j.submit_time, finished ? j.finish_time : window.end, window);
+    if (finished && window.contains(j.finish_time)) ++out.jobs_completed;
     if (!window.contains(j.submit_time)) continue;
     ++out.jobs_submitted;
     offered_bytes += j.input_bytes;
-    response.push_back(j.completion_time());
+    if (finished) {
+      response.push_back(j.completion_time());
+    } else {
+      ++out.jobs_unfinished;
+    }
     if (auto it = first_assignment.find(j.id.value());
         it != first_assignment.end()) {
       delay.push_back(std::max(0.0, it->second - j.submit_time));

@@ -45,6 +45,11 @@ struct SteadyStateSummary {
   // --- load balance: offered vs goodput ---
   std::size_t jobs_submitted = 0;  ///< arrivals inside the window
   std::size_t jobs_completed = 0;  ///< completions inside the window
+  /// Window arrivals whose record says they never finished (finish_time <
+  /// submit_time, the truncation sentinel). Excluded from the latency
+  /// percentiles — a truncated run has no response time to report — but
+  /// still counted as in-system occupancy up to the window's end.
+  std::size_t jobs_unfinished = 0;
   double offered_jobs_per_hour = 0.0;
   double throughput_jobs_per_hour = 0.0;  ///< goodput (completions / time)
   BytesPerSec offered_bytes_per_sec = 0.0;  ///< input bytes arriving / s
@@ -65,8 +70,10 @@ struct SteadyStateSummary {
 /// records to jobs by JobId (delay = earliest attempt assignment − submit);
 /// slot utilization credits each task's [assigned, finished) overlap with
 /// the window against `total_*_slots`. The engine emits records only for
-/// finished jobs, so feed this a drained run (the stream runner runs to
-/// drain); an undrained run undercounts submissions.
+/// finished jobs; a truncated (undrained) run can additionally pass
+/// Engine::unfinished_job_records(), whose finish_time sentinel (< submit
+/// time) routes them into `jobs_unfinished` and keeps the latency
+/// percentiles clean of negative response times.
 [[nodiscard]] SteadyStateSummary steady_state_summary(
     std::span<const mapreduce::JobRecord> jobs,
     std::span<const mapreduce::TaskRecord> tasks, Window window,

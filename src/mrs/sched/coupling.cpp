@@ -75,7 +75,7 @@ bool CouplingScheduler::try_reduce(Engine& engine, NodeId node) {
     // *current* intermediate data (no projection) and coarse-grained
     // machine/rack distances — both deliberate: they are exactly what the
     // paper contrasts its estimator and fine-grained cost against.
-    const std::vector<NodeId> n_r =
+    const std::vector<NodeId>& n_r =
         engine.cluster().nodes_with_free_reduce_slots();
     const core::IntermediateSnapshot snap(*job, engine.now(),
                                           core::EstimatorMode::kCurrent,

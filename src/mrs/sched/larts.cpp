@@ -47,7 +47,7 @@ bool LartsScheduler::try_reduce(Engine& engine, NodeId node) {
     const core::IntermediateSnapshot snap(*job, engine.now(),
                                           core::EstimatorMode::kCurrent,
                                           engine.cluster().node_count());
-    const auto free_nodes = engine.cluster().nodes_with_free_reduce_slots();
+    const auto& free_nodes = engine.cluster().nodes_with_free_reduce_slots();
 
     // Among unassigned reduces, pick the one for which this node hosts the
     // largest share; accept if that share is near the best free node's.

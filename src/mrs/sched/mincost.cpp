@@ -31,7 +31,7 @@ bool MinCostScheduler::try_map(Engine& engine, NodeId node) {
       engine.assign_map(*job, local, node);
       return true;
     }
-    const auto free_nodes = engine.cluster().nodes_with_free_map_slots();
+    const auto& free_nodes = engine.cluster().nodes_with_free_map_slots();
     double best_regret = std::numeric_limits<double>::max();
     double best_floor = 0.0;
     std::size_t best_task = job->map_count();
@@ -67,7 +67,7 @@ bool MinCostScheduler::try_reduce(Engine& engine, NodeId node) {
     const auto unassigned = job->unassigned_reduces();
     if (unassigned.empty()) continue;
 
-    const auto free_nodes = engine.cluster().nodes_with_free_reduce_slots();
+    const auto& free_nodes = engine.cluster().nodes_with_free_reduce_slots();
     core::ReduceCostEvaluator eval(engine, *job,
                                    core::EstimatorMode::kProjected,
                                    free_nodes);

@@ -4,12 +4,16 @@
 // simultaneous events fire in scheduling order and every run is
 // deterministic. Cancellation uses tombstones (lazy deletion), which the
 // network service relies on to invalidate stale flow-completion events.
+// Long streams cancel heavily (every flow-rate change reschedules the
+// completion event), so both the heap and the callback table amortize their
+// cleanup: the heap filters dead entries in one O(n) pass once tombstones
+// outnumber live entries, and the callback table drops its fired prefix
+// from a remembered scan floor instead of rescanning from index 0.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -64,6 +68,9 @@ class Simulation {
 
   [[nodiscard]] std::size_t pending_count() const { return live_events_; }
   [[nodiscard]] std::size_t processed_count() const { return processed_; }
+  /// Heap entries including not-yet-collected tombstones (introspection
+  /// for the compaction tests/bench).
+  [[nodiscard]] std::size_t queue_size() const { return heap_.size(); }
 
  private:
   struct Entry {
@@ -74,19 +81,31 @@ class Simulation {
       return seq > other.seq;
     }
   };
+  struct EntryGreater {
+    bool operator()(const Entry& a, const Entry& b) const { return a > b; }
+  };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // Min-heap over (time, seq) with lazy deletion: cancelled entries stay
+  // until popped or swept by compact_heap().
+  std::vector<Entry> heap_;
+  std::size_t heap_tombstones_ = 0;  ///< cancelled entries still in heap_
   // seq -> callback; empty function marks a cancelled/fired tombstone.
-  // Compacted lazily: entries are erased once fired.
   std::vector<Callback> callbacks_;
-  std::uint64_t base_seq_ = 0;  ///< seq of callbacks_[0]
+  std::uint64_t base_seq_ = 0;   ///< seq of callbacks_[0]
+  std::size_t scan_floor_ = 0;   ///< callbacks_[0, scan_floor_) known dead
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t live_events_ = 0;
   std::size_t processed_ = 0;
 
   [[nodiscard]] Callback* find(std::uint64_t seq);
-  void compact();
+  [[nodiscard]] bool is_live(const Entry& e);
+  /// Pop tombstones off the heap top; returns false when the heap empties.
+  bool settle_top();
+  /// Remove every dead heap entry in one pass and re-heapify.
+  void compact_heap();
+  /// Erase the dead callbacks_ prefix (amortized via scan_floor_).
+  void compact_callbacks();
 };
 
 }  // namespace mrs::sim

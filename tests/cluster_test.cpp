@@ -57,6 +57,114 @@ TEST(Cluster, FreeSlotLists) {
   EXPECT_EQ(reduces, (std::vector<NodeId>{NodeId(1)}));
 }
 
+// The incremental free-slot index must match a naive scan after every
+// kind of mutation: assignment (occupy), completion (release), task kill
+// (release), node failure (drain) and recovery.
+TEST(Cluster, FreeSlotIndexMatchesNaiveScan) {
+  const auto topo = net::make_single_rack(6);
+  NodeConfig cfg;
+  cfg.map_slots = 2;
+  cfg.reduce_slots = 1;
+  Cluster fast(&topo, cfg, Rng(3));
+  Cluster naive(&topo, cfg, Rng(3));
+  naive.set_naive_free_scan(true);
+
+  const auto check = [&] {
+    EXPECT_EQ(fast.nodes_with_free_map_slots(),
+              naive.nodes_with_free_map_slots());
+    EXPECT_EQ(fast.nodes_with_free_reduce_slots(),
+              naive.nodes_with_free_reduce_slots());
+    EXPECT_EQ(fast.busy_map_slots(), naive.busy_map_slots());
+    EXPECT_EQ(fast.busy_reduce_slots(), naive.busy_reduce_slots());
+  };
+  const auto both = [&](auto&& op) {
+    op(fast);
+    op(naive);
+    check();
+  };
+
+  check();  // initial: everyone free
+  // Fill node 1 completely (leaves the map set at the second occupy).
+  both([](Cluster& c) { c.occupy_map_slot(NodeId(1)); });
+  both([](Cluster& c) { c.occupy_map_slot(NodeId(1)); });
+  both([](Cluster& c) { c.occupy_reduce_slot(NodeId(1)); });
+  // Partial occupancy elsewhere (no membership change for maps).
+  both([](Cluster& c) { c.occupy_map_slot(NodeId(4)); });
+  both([](Cluster& c) { c.occupy_reduce_slot(NodeId(0)); });
+  // Finish: node 1 re-enters both sets in sorted position.
+  both([](Cluster& c) { c.release_map_slot(NodeId(1)); });
+  both([](Cluster& c) { c.release_reduce_slot(NodeId(1)); });
+  // Kill path: the engine releases the victim's slots, then drains the
+  // node; a dead node must leave both sets even with zero busy slots.
+  both([](Cluster& c) { c.release_map_slot(NodeId(4)); });
+  both([](Cluster& c) { c.set_node_alive(NodeId(4), false); });
+  both([](Cluster& c) { c.set_node_alive(NodeId(4), false); });  // no-op
+  // Recovery restores membership.
+  both([](Cluster& c) { c.set_node_alive(NodeId(4), true); });
+
+  // Node 1 still holds one busy map slot but has one free again, so every
+  // node is back in the map set.
+  EXPECT_EQ(fast.nodes_with_free_map_slots().size(), 6u);
+  EXPECT_EQ(fast.busy_map_slots(), 1u);
+}
+
+TEST(Cluster, FreeSlotVersionAndJournal) {
+  const auto topo = net::make_single_rack(4);
+  NodeConfig cfg;
+  cfg.map_slots = 1;
+  cfg.reduce_slots = 1;
+  Cluster c(&topo, cfg, Rng(1));
+
+  const std::uint64_t v0 = c.free_map_version();
+  c.occupy_map_slot(NodeId(2));  // leaves the set
+  c.occupy_map_slot(NodeId(0));  // leaves the set
+  c.release_map_slot(NodeId(2));  // re-enters
+  EXPECT_EQ(c.free_map_version(), v0 + 3);
+
+  const auto toggles = c.free_map_toggles_since(v0);
+  ASSERT_TRUE(toggles.has_value());
+  ASSERT_EQ(toggles->size(), 3u);
+  EXPECT_EQ((*toggles)[0].node, NodeId(2));
+  EXPECT_FALSE((*toggles)[0].now_free);
+  EXPECT_EQ((*toggles)[1].node, NodeId(0));
+  EXPECT_FALSE((*toggles)[1].now_free);
+  EXPECT_EQ((*toggles)[2].node, NodeId(2));
+  EXPECT_TRUE((*toggles)[2].now_free);
+
+  // A suffix query sees only the newer toggles; a current query is empty.
+  const auto tail = c.free_map_toggles_since(v0 + 2);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->size(), 1u);
+  const auto none = c.free_map_toggles_since(c.free_map_version());
+  ASSERT_TRUE(none.has_value());
+  EXPECT_TRUE(none->empty());
+
+  // Reduce-side version is independent of map churn.
+  EXPECT_EQ(c.free_reduce_version(), 0u);
+  c.occupy_reduce_slot(NodeId(3));
+  EXPECT_EQ(c.free_reduce_version(), 1u);
+}
+
+TEST(Cluster, JournalTrimForcesRebuild) {
+  const auto topo = net::make_single_rack(2);
+  NodeConfig cfg;
+  cfg.map_slots = 1;
+  Cluster c(&topo, cfg, Rng(1));
+  // Push far past the journal capacity; a query anchored at version 0
+  // must then report the window as lost (nullopt -> consumer rebuilds).
+  for (int i = 0; i < 5000; ++i) {
+    c.occupy_map_slot(NodeId(0));
+    c.release_map_slot(NodeId(0));
+  }
+  EXPECT_FALSE(c.free_map_toggles_since(0).has_value());
+  // Recent history is still replayable.
+  const std::uint64_t v = c.free_map_version();
+  c.occupy_map_slot(NodeId(1));
+  const auto recent = c.free_map_toggles_since(v);
+  ASSERT_TRUE(recent.has_value());
+  EXPECT_EQ(recent->size(), 1u);
+}
+
 TEST(Cluster, SpeedFactorsWithinSpread) {
   const auto topo = net::make_single_rack(50);
   NodeConfig cfg;

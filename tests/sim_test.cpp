@@ -120,6 +120,48 @@ TEST(Simulation, CompactionKeepsLiveEvents) {
   EXPECT_EQ(s.processed_count(), 5001u);
 }
 
+TEST(Simulation, MassCancelSweepsTombstones) {
+  Simulation s;
+  // Schedule a large batch, cancel most of it: the lazy-deletion sweep
+  // must reclaim the heap instead of carrying every tombstone to the end.
+  std::vector<EventHandle> handles;
+  int fired = 0;
+  for (int i = 0; i < 4000; ++i) {
+    handles.push_back(s.schedule_at(double(i + 1), [&] { ++fired; }));
+  }
+  for (int i = 0; i < 4000; i += 2) s.cancel(handles[size_t(i)]);
+  EXPECT_EQ(s.pending_count(), 2000u);
+  // The sweep triggers once tombstones reach half the heap, so the queue
+  // never holds more than live + half-ish dead entries.
+  EXPECT_LT(s.queue_size(), 4000u);
+  for (int i = 1; i < 4000; i += 2) s.cancel(handles[size_t(i)]);
+  EXPECT_EQ(s.pending_count(), 0u);
+  EXPECT_LT(s.queue_size(), 2000u);
+  s.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.processed_count(), 0u);
+}
+
+TEST(Simulation, CancelHeavyStreamStillFiresLiveInOrder) {
+  Simulation s;
+  // Interleave cancels with live events across several sweep rounds and
+  // check that ordering of the survivors is untouched.
+  std::vector<int> order;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<EventHandle> dead;
+    for (int i = 0; i < 500; ++i) {
+      dead.push_back(s.schedule_at(1000.0 + round, [] {}));
+    }
+    s.schedule_at(double(round + 1), [&order, round] {
+      order.push_back(round);
+    });
+    for (const auto& h : dead) s.cancel(h);
+  }
+  s.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[size_t(i)], i);
+}
+
 TEST(NetworkService, TransferCompletesOnce) {
   Simulation s;
   const net::Topology topo = net::make_single_rack(3, units::Gbps(1));

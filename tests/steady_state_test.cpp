@@ -112,6 +112,37 @@ TEST(SteadyState, QueueingDelayUsesEarliestAttempt) {
   EXPECT_DOUBLE_EQ(s.queueing_delay.mean, 5.0);  // 25 - 20
 }
 
+TEST(SteadyState, TruncatedRunSkipsUnfinishedJobs) {
+  // Window [10, 110). Job 2 never finished (truncation sentinel -1):
+  // excluded from the response percentiles but occupying the system from
+  // submit to the end of the window, and counted as unfinished. Before the
+  // fix its completion_time() of -1 - 40 = -41 s polluted every percentile
+  // and its overlap() contribution was clamped to zero.
+  const std::vector<JobRecord> jobs = {
+      job(1, 20.0, 50.0),
+      job(2, 40.0, -1.0),
+  };
+  const std::vector<TaskRecord> tasks = {
+      task(1, true, 21.0, 40.0),
+      task(2, true, 41.0, 60.0),  // a finished map of the unfinished job
+  };
+  const auto s = steady_state_summary(jobs, tasks, Window{10.0, 110.0},
+                                      /*total_map_slots=*/10,
+                                      /*total_reduce_slots=*/5);
+  EXPECT_EQ(s.jobs_submitted, 2u);
+  EXPECT_EQ(s.jobs_completed, 1u);
+  EXPECT_EQ(s.jobs_unfinished, 1u);
+  // Only job 1's response time of 30 s: no negative samples.
+  EXPECT_EQ(s.response_time.count, 1u);
+  EXPECT_DOUBLE_EQ(s.response_time.mean, 30.0);
+  EXPECT_DOUBLE_EQ(s.response_time.p50, 30.0);
+  EXPECT_GE(s.response_time.p99, 0.0);
+  // Queueing delay is still defined for both (first task assignment).
+  EXPECT_EQ(s.queueing_delay.count, 2u);
+  // In-system: job1 [20,50) = 30, job2 [40,110) = 70 -> L = 1.0.
+  EXPECT_DOUBLE_EQ(s.mean_jobs_in_system, 1.0);
+}
+
 TEST(SteadyState, EmptyWindowedRecords) {
   // Records entirely outside the window: zero counts, zero utilization.
   const std::vector<JobRecord> jobs = {job(1, 200.0, 250.0)};

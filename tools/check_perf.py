@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Perf smoke gate over bench_micro_scheduler's saturated-heartbeat case.
+
+Usage: check_perf.py <bench_json> <baseline_json>
+
+Reads the google-benchmark JSON for BM_PnaHeartbeatSaturated/{0,1}
+(naive / incremental scoring) and enforces two gates:
+
+  1. machine-independent: the incremental path must deliver at least
+     2x the naive heartbeats/sec on the same machine, same run;
+  2. machine-local: incremental heartbeats/sec must not regress more
+     than 20% below the checked-in baseline.
+
+PNATS_PERF_REGEN=1 (or a missing baseline file) rewrites the baseline
+from the current run instead of comparing — do this once per machine
+and whenever an intentional perf change lands.
+"""
+import json
+import os
+import sys
+
+MIN_RATIO = 2.0         # incremental must be >= 2x naive
+MAX_REGRESSION = 0.20   # and within 20% of the checked-in baseline
+
+
+def items_per_second(report, name):
+    for bench in report.get("benchmarks", []):
+        if bench.get("name") == name and "items_per_second" in bench:
+            return float(bench["items_per_second"])
+    sys.exit(f"check_perf: benchmark '{name}' missing from report")
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    bench_path, baseline_path = sys.argv[1], sys.argv[2]
+    with open(bench_path) as f:
+        report = json.load(f)
+    naive = items_per_second(report, "BM_PnaHeartbeatSaturated/0")
+    incremental = items_per_second(report, "BM_PnaHeartbeatSaturated/1")
+
+    ratio = incremental / naive if naive > 0 else float("inf")
+    print(f"check_perf: naive {naive:,.0f} hb/s, "
+          f"incremental {incremental:,.0f} hb/s, ratio {ratio:.1f}x")
+    if ratio < MIN_RATIO:
+        sys.exit(f"check_perf: FAIL - incremental/naive ratio {ratio:.2f}x "
+                 f"is below the required {MIN_RATIO:.1f}x")
+
+    regen = os.environ.get("PNATS_PERF_REGEN", "0") not in ("", "0")
+    if regen or not os.path.exists(baseline_path):
+        with open(baseline_path, "w") as f:
+            json.dump({"BM_PnaHeartbeatSaturated/1": {
+                "items_per_second": incremental}}, f, indent=2)
+            f.write("\n")
+        print(f"check_perf: baseline written to {baseline_path}")
+        return
+
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    ref = float(
+        baseline["BM_PnaHeartbeatSaturated/1"]["items_per_second"])
+    floor = ref * (1.0 - MAX_REGRESSION)
+    print(f"check_perf: baseline {ref:,.0f} hb/s, floor {floor:,.0f} hb/s")
+    if incremental < floor:
+        sys.exit(f"check_perf: FAIL - {incremental:,.0f} hb/s regresses "
+                 f">{MAX_REGRESSION:.0%} below baseline {ref:,.0f} hb/s "
+                 f"(PNATS_PERF_REGEN=1 to accept a new baseline)")
+    print("check_perf: OK")
+
+
+if __name__ == "__main__":
+    main()

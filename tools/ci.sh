@@ -3,10 +3,14 @@
 #   1. tier-1: configure + build + ctest (the gate every change must pass)
 #   2. telemetry smoke: a small streaming run must produce parseable
 #      JSONL + Chrome-trace output (validated with python3 when present)
-#   3. ASan/UBSan build of the test suite (PNATS_SANITIZE=asan), catching
+#   3. perf smoke: bench_micro_scheduler's saturated-heartbeat case must
+#      keep incremental scoring >= 2x the naive path and within 20% of
+#      tools/perf_baseline.json (PNATS_PERF_REGEN=1 refreshes it)
+#   4. ASan/UBSan build of the test suite (PNATS_SANITIZE=asan), catching
 #      memory and UB bugs the plain build cannot
-#   4. optional: TSAN=1 ./tools/ci.sh adds a TSan pass over the threaded
-#      run_experiments / stream-sweep paths
+#   5. TSan build running the fast-vs-naive equivalence suite (the
+#      incremental index under the threaded drivers); TSAN=1 widens this
+#      to the full test suite
 #
 # Run from the repository root: ./tools/ci.sh
 # Build trees: build/ (tier-1), build-asan/, build-tsan/.
@@ -50,6 +54,16 @@ print(f"telemetry smoke: {len(lines)} jsonl lines, "
 PY
 fi
 
+echo "==> perf smoke: incremental scoring vs naive heartbeat path"
+./build/bench/bench_micro_scheduler \
+  --benchmark_filter='BM_PnaHeartbeatSaturated' \
+  --benchmark_format=json >"$SMOKE_DIR/perf.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/check_perf.py "$SMOKE_DIR/perf.json" tools/perf_baseline.json
+else
+  echo "perf smoke: python3 unavailable, ratio/baseline gates skipped"
+fi
+
 echo "==> sanitizer pass: ASan/UBSan test suite"
 cmake -B build-asan -S . "${GENERATOR[@]}" \
   -DPNATS_SANITIZE=asan \
@@ -57,13 +71,15 @@ cmake -B build-asan -S . "${GENERATOR[@]}" \
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
+echo "==> sanitizer pass: TSan fast-vs-naive equivalence suite"
+cmake -B build-tsan -S . "${GENERATOR[@]}" \
+  -DPNATS_SANITIZE=tsan \
+  -DPNATS_BUILD_BENCH=OFF -DPNATS_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j "$JOBS"
 if [[ "${TSAN:-0}" != "0" ]]; then
-  echo "==> sanitizer pass: TSan test suite"
-  cmake -B build-tsan -S . "${GENERATOR[@]}" \
-    -DPNATS_SANITIZE=tsan \
-    -DPNATS_BUILD_BENCH=OFF -DPNATS_BUILD_EXAMPLES=OFF
-  cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+else
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R Equivalence
 fi
 
 echo "==> ci: all passes green"

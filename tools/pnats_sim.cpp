@@ -314,7 +314,11 @@ int main(int argc, char** argv) {
   const auto result = driver::run_experiment(cfg);
 
   RunningStats jct;
-  for (const auto& j : result.job_records) jct.add(j.completion_time());
+  for (const auto& j : result.job_records) {
+    // Truncated runs carry sentinel records (finish < submit) for jobs
+    // that never finished — they have no completion time.
+    if (j.finish_time >= j.submit_time) jct.add(j.completion_time());
+  }
   const auto loc = metrics::locality_summary(result.task_records,
                                              metrics::TaskFilter::kAll);
   std::printf("%s: completed=%s jobs=%zu meanJCT=%.1fs makespan=%.1fs "
@@ -327,7 +331,12 @@ int main(int argc, char** argv) {
 
   if (!quiet) {
     for (const auto& j : result.job_records) {
-      std::printf("  %-18s %8.1fs\n", j.name.c_str(), j.completion_time());
+      if (j.finish_time >= j.submit_time) {
+        std::printf("  %-18s %8.1fs\n", j.name.c_str(),
+                    j.completion_time());
+      } else {
+        std::printf("  %-18s unfinished\n", j.name.c_str());
+      }
     }
   }
   if (!out_dir.empty()) {
