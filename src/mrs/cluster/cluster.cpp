@@ -87,7 +87,7 @@ void Cluster::note_reduce_toggle(NodeId id, bool now_free) {
 
 void Cluster::occupy_map_slot(NodeId id) {
   NodeState& n = mutable_node(id);
-  MRS_REQUIRE(n.alive);
+  MRS_REQUIRE(n.alive && n.schedulable);
   MRS_REQUIRE(n.busy_map_slots < n.map_slots);
   ++n.busy_map_slots;
   ++busy_map_total_;
@@ -100,12 +100,14 @@ void Cluster::release_map_slot(NodeId id) {
   const bool was_empty = n.free_map_slots() == 0;
   --n.busy_map_slots;
   --busy_map_total_;
-  if (was_empty && n.alive) note_map_toggle(id, /*now_free=*/true);
+  if (was_empty && n.free_map_slots() > 0) {
+    note_map_toggle(id, /*now_free=*/true);
+  }
 }
 
 void Cluster::occupy_reduce_slot(NodeId id) {
   NodeState& n = mutable_node(id);
-  MRS_REQUIRE(n.alive);
+  MRS_REQUIRE(n.alive && n.schedulable);
   MRS_REQUIRE(n.busy_reduce_slots < n.reduce_slots);
   ++n.busy_reduce_slots;
   ++busy_reduce_total_;
@@ -118,7 +120,9 @@ void Cluster::release_reduce_slot(NodeId id) {
   const bool was_empty = n.free_reduce_slots() == 0;
   --n.busy_reduce_slots;
   --busy_reduce_total_;
-  if (was_empty && n.alive) note_reduce_toggle(id, /*now_free=*/true);
+  if (was_empty && n.free_reduce_slots() > 0) {
+    note_reduce_toggle(id, /*now_free=*/true);
+  }
 }
 
 void Cluster::set_node_alive(NodeId id, bool alive) {
@@ -132,6 +136,22 @@ void Cluster::set_node_alive(NodeId id, bool alive) {
   const bool map_member = n.free_map_slots() > 0;
   const bool reduce_member = n.free_reduce_slots() > 0;
   n.alive = alive;
+  if ((n.free_map_slots() > 0) != map_member) {
+    note_map_toggle(id, /*now_free=*/!map_member);
+  }
+  if ((n.free_reduce_slots() > 0) != reduce_member) {
+    note_reduce_toggle(id, /*now_free=*/!reduce_member);
+  }
+}
+
+void Cluster::set_node_schedulable(NodeId id, bool schedulable) {
+  NodeState& n = mutable_node(id);
+  if (n.schedulable == schedulable) return;
+  // Same before/after membership patch as set_node_alive, but occupancy
+  // may be nonzero: a probationed node keeps running its tasks.
+  const bool map_member = n.free_map_slots() > 0;
+  const bool reduce_member = n.free_reduce_slots() > 0;
+  n.schedulable = schedulable;
   if ((n.free_map_slots() > 0) != map_member) {
     note_map_toggle(id, /*now_free=*/!map_member);
   }

@@ -47,12 +47,16 @@ struct NodeState {
   double speed_factor = 1.0;
   BytesPerSec disk_rate = 0.0;
   bool alive = true;  ///< a failed TaskTracker offers no slots
+  /// An alive node can still be withheld from scheduling (blacklist
+  /// probation): it keeps running already-assigned tasks but offers no
+  /// free slots until reinstated.
+  bool schedulable = true;
 
   [[nodiscard]] std::size_t free_map_slots() const {
-    return alive ? map_slots - busy_map_slots : 0;
+    return alive && schedulable ? map_slots - busy_map_slots : 0;
   }
   [[nodiscard]] std::size_t free_reduce_slots() const {
-    return alive ? reduce_slots - busy_reduce_slots : 0;
+    return alive && schedulable ? reduce_slots - busy_reduce_slots : 0;
   }
 };
 
@@ -89,6 +93,13 @@ class Cluster {
   void set_node_alive(NodeId id, bool alive);
   [[nodiscard]] bool node_alive(NodeId id) const { return node(id).alive; }
   [[nodiscard]] std::size_t alive_node_count() const;
+
+  /// Blacklist probation: withhold/reinstate an alive node's free slots
+  /// without touching its running tasks or occupancy.
+  void set_node_schedulable(NodeId id, bool schedulable);
+  [[nodiscard]] bool node_schedulable(NodeId id) const {
+    return node(id).schedulable;
+  }
 
   /// Nodes that currently have at least one free map/reduce slot — the
   /// N_m / N_r sets of Algorithms 1 and 2, ascending by node id. The

@@ -127,12 +127,21 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   auto scheduler = make_scheduler(cfg, root.split("scheduler"));
   engine.set_scheduler(scheduler.get());
 
+  // Admission controller (policies are RNG-free, so installing the
+  // always-admit default changes nothing about the run).
+  std::unique_ptr<control::AdmissionController> admission;
+  if (cfg.enable_admission) {
+    admission = std::make_unique<control::AdmissionController>(cfg.admission);
+    engine.set_admission(admission.get());
+  }
+
   // One registry per run: metric values stay deterministic per (config,
   // seed) and parallel run_experiments shares no mutable state.
   telemetry::Registry registry;
   if (cfg.enable_telemetry) {
     engine.set_telemetry(&registry);
     scheduler->set_telemetry(&registry);
+    if (admission) admission->set_telemetry(&registry);
   }
 
   std::unique_ptr<sim::CsvTraceSink> trace;
@@ -159,15 +168,17 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     const std::vector<std::string> columns = {
         "jobs_in_system",  "maps_queued",       "reduces_queued",
         "busy_map_slots",  "busy_reduce_slots", "map_slot_util",
-        "reduce_slot_util", "jobs_arrived",     "jobs_completed"};
+        "reduce_slot_util", "jobs_arrived",     "jobs_completed",
+        "deferral_queue_depth"};
     std::vector<telemetry::Gauge*> gauges;
     gauges.reserve(columns.size());
     for (const auto& c : columns) {
       gauges.push_back(&registry.gauge("sample." + c));
     }
+    control::AdmissionController* adm = admission.get();
     sampler = std::make_unique<telemetry::Sampler>(
         &simulation, columns, cfg.sample_period,
-        [&engine, &cluster, gauges](Seconds, std::vector<double>& row) {
+        [&engine, &cluster, adm, gauges](Seconds, std::vector<double>& row) {
           std::size_t maps_queued = 0, reduces_queued = 0;
           for (const mapreduce::JobRun* job : engine.active_jobs()) {
             maps_queued += job->maps_unassigned();
@@ -189,7 +200,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
                                    static_cast<double>(total_r)
                              : 0.0,
                  static_cast<double>(engine.jobs_activated()),
-                 static_cast<double>(engine.jobs_completed())};
+                 static_cast<double>(engine.jobs_completed()),
+                 adm != nullptr
+                     ? static_cast<double>(adm->deferral_queue_depth())
+                     : 0.0};
           for (std::size_t i = 0; i < row.size(); ++i) {
             gauges[i]->set(row[i]);  // snapshot carries the last sample
           }
@@ -229,6 +243,13 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     result.makespan = std::max(result.makespan, j.finish_time);
   }
   result.events_processed = simulation.processed_count();
+  result.jobs_rejected = engine.jobs_rejected();
+  result.jobs_aborted = engine.jobs_aborted();
+  if (admission) {
+    result.admission_outcomes.assign(admission->outcomes().begin(),
+                                     admission->outcomes().end());
+    result.admission_policy = admission->policy_name();
+  }
   result.telemetry = registry.snapshot();
   if (sampler) result.samples = sampler->series();
   if (!cfg.telemetry_path.empty()) {

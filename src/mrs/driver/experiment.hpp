@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mrs/cluster/cluster.hpp"
+#include "mrs/control/admission.hpp"
 #include "mrs/core/pna_scheduler.hpp"
 #include "mrs/mapreduce/engine.hpp"
 #include "mrs/mapreduce/failure_injector.hpp"
@@ -74,6 +75,15 @@ struct ExperimentConfig {
   // --- engine ---
   mapreduce::EngineConfig engine;
   mapreduce::FailureInjectorConfig failures;  ///< disabled by default
+
+  // --- admission control plane ---
+  /// Policy + deferral knobs. The default always-admit policy with
+  /// `enable_admission = true` is a provable no-op: the controller decides
+  /// kAdmit at every submit time, consumes no RNG, and the run is
+  /// byte-identical to enable_admission = false (the equivalence tests
+  /// pin this).
+  control::AdmissionConfig admission;
+  bool enable_admission = true;
 
   // --- workload ---
   workload::WorkloadConfig workload;
@@ -138,6 +148,12 @@ struct ExperimentResult {
   telemetry::Snapshot telemetry;
   /// Sampled time-series (empty unless config.sample_period > 0).
   telemetry::TimeSeries samples;
+  /// Admission ledger: one entry per arrival routed through the
+  /// controller (empty when enable_admission = false).
+  std::vector<control::ArrivalOutcome> admission_outcomes;
+  std::string admission_policy;  ///< policy name, "" without a controller
+  std::size_t jobs_rejected = 0;
+  std::size_t jobs_aborted = 0;
 };
 
 /// Run one experiment synchronously.

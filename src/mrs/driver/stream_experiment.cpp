@@ -1,5 +1,7 @@
 #include "mrs/driver/stream_experiment.hpp"
 
+#include <algorithm>
+
 #include "mrs/common/check.hpp"
 
 namespace mrs::driver {
@@ -29,6 +31,11 @@ StreamResult run_stream_experiment(const StreamConfig& cfg) {
     run_cfg.jobs.push_back(a.job);
     run_cfg.submit_times.push_back(a.time);
   }
+  // Keep the failure injector armed over the whole arrival horizon: with
+  // pre-submitted stream jobs, "all jobs complete" is merely a quiet gap
+  // until the last arrival has entered the system.
+  run_cfg.failures.arm_horizon =
+      std::max(cfg.base.failures.arm_horizon, cfg.arrivals.duration);
   result.run = run_experiment(run_cfg);
 
   const metrics::Window window{cfg.warmup, cfg.arrivals.duration};
@@ -37,7 +44,7 @@ StreamResult run_stream_experiment(const StreamConfig& cfg) {
   const std::size_t reduce_slots = cfg.base.nodes * cfg.base.node.reduce_slots;
   result.steady = metrics::steady_state_summary(
       result.run.job_records, result.run.task_records, window, map_slots,
-      reduce_slots);
+      reduce_slots, result.run.admission_outcomes);
   return result;
 }
 

@@ -18,6 +18,7 @@ Engine::Engine(sim::Simulation* simulation, cluster::Cluster* cluster,
       distance_(distance),
       config_(config),
       rng_(std::move(rng)),
+      blacklist_(cluster->node_count(), config.blacklist),
       heartbeats_(simulation, cluster->node_count(),
                   config.heartbeat_interval) {
   MRS_REQUIRE(simulation_ != nullptr && cluster_ != nullptr &&
@@ -39,6 +40,7 @@ void Engine::set_scheduler(TaskScheduler* scheduler) {
 
 void Engine::set_telemetry(telemetry::Registry* registry) {
   MRS_REQUIRE(!started_);
+  blacklist_.set_telemetry(registry);
   if (registry == nullptr) {
     metrics_ = Metrics{};
     return;
@@ -56,6 +58,7 @@ void Engine::set_telemetry(telemetry::Registry* registry) {
   metrics_.speculative_launches = &r.counter("engine.speculative_launches");
   metrics_.nodes_failed = &r.counter("engine.nodes.failed");
   metrics_.nodes_recovered = &r.counter("engine.nodes.recovered");
+  metrics_.jobs_aborted = &r.counter("control.jobs.aborted");
   static constexpr const char* kMapLocality[3] = {
       "engine.maps.locality.node", "engine.maps.locality.rack",
       "engine.maps.locality.remote"};
@@ -119,7 +122,8 @@ void Engine::start() {
   util_last_change_ = simulation_->now();
   for (const auto& job : jobs_) {
     JobRun* j = job.get();
-    simulation_->schedule_at(j->submit_time, [this, j] { activate_job(*j); });
+    simulation_->schedule_at(j->submit_time,
+                             [this, j] { try_admit(*j, /*attempt=*/0); });
   }
   heartbeats_.start([this](NodeId node) { on_heartbeat(node); });
 }
@@ -130,9 +134,111 @@ void Engine::trace(sim::TraceEventKind kind, std::string subject,
   trace_->record({now(), kind, std::move(subject), std::move(detail)});
 }
 
+void Engine::try_admit(JobRun& job, std::size_t attempt) {
+  if (admission_ == nullptr) {
+    activate_job(job);
+    return;
+  }
+  control::AdmissionObservables obs;
+  obs.now = now();
+  obs.jobs_in_system = active_jobs_.size();
+  for (const JobRun* active : active_jobs_) {
+    obs.tasks_queued +=
+        active->maps_unassigned() + active->reduces_unassigned();
+  }
+  obs.map_slot_utilization =
+      cluster_->total_map_slots() > 0
+          ? static_cast<double>(cluster_->busy_map_slots()) /
+                static_cast<double>(cluster_->total_map_slots())
+          : 0.0;
+  obs.reduce_slot_utilization =
+      cluster_->total_reduce_slots() > 0
+          ? static_cast<double>(cluster_->busy_reduce_slots()) /
+                static_cast<double>(cluster_->total_reduce_slots())
+          : 0.0;
+  const control::AdmissionDecision decision =
+      admission_->on_arrival(job.id(), job.submit_time, attempt, obs);
+  switch (decision.action) {
+    case control::AdmissionAction::kAdmit:
+      activate_job(job);
+      break;
+    case control::AdmissionAction::kDefer: {
+      trace(sim::TraceEventKind::kJobDeferred, job.spec().name,
+            strf("retry_in=%.1f attempt=%zu", decision.retry_in, attempt));
+      JobRun* j = &job;
+      simulation_->schedule_in(decision.retry_in, [this, j, attempt] {
+        try_admit(*j, attempt + 1);
+      });
+      break;
+    }
+    case control::AdmissionAction::kReject:
+      reject_job(job);
+      break;
+  }
+}
+
+void Engine::reject_job(JobRun& job) {
+  job.rejected = true;
+  ++jobs_rejected_;
+  log_debug("t=%.1f reject job %s", now(), job.spec().name.c_str());
+  trace(sim::TraceEventKind::kJobRejected, job.spec().name);
+  if (all_jobs_complete()) heartbeats_.stop();
+}
+
+void Engine::abort_job(JobRun& job) {
+  MRS_REQUIRE(!job.aborted && !job.rejected && job.finish_time < 0.0);
+  // Kill every running attempt so the job releases its slots and no stale
+  // callbacks fire after the record is emitted.
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    MapTaskState& s = job.map_state(j);
+    if (s.backup.active) kill_map_attempt(job, j, /*backup=*/true);
+    const bool running = s.phase == MapPhase::kStartup ||
+                         s.phase == MapPhase::kFetching ||
+                         s.phase == MapPhase::kComputing;
+    if (running) kill_map_attempt(job, j, /*backup=*/false);
+  }
+  for (std::size_t f = 0; f < job.reduce_count(); ++f) {
+    const ReduceTaskState& r = job.reduce_state(f);
+    const bool running = r.phase == ReducePhase::kStartup ||
+                         r.phase == ReducePhase::kShuffling ||
+                         r.phase == ReducePhase::kComputing;
+    if (running) kill_reduce_attempt(job, f);
+  }
+
+  job.aborted = true;
+  job.finish_time = now();
+  last_finish_ = std::max(last_finish_, job.finish_time);
+
+  JobRecord rec;
+  rec.id = job.id();
+  rec.name = job.spec().name;
+  rec.kind = job.spec().kind;
+  rec.map_count = job.map_count();
+  rec.reduce_count = job.reduce_count();
+  rec.input_bytes = job.spec().total_input();
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    rec.shuffle_bytes += job.total_map_output(j);
+  }
+  rec.submit_time = job.submit_time;
+  rec.finish_time = job.finish_time;
+  rec.aborted = true;
+  job_records_.push_back(std::move(rec));
+
+  active_jobs_.erase(
+      std::remove(active_jobs_.begin(), active_jobs_.end(), &job),
+      active_jobs_.end());
+  ++jobs_aborted_;
+  telemetry::inc(metrics_.jobs_aborted);
+  log_info("t=%.1f job %s aborted (task attempt cap)", now(),
+           job.spec().name.c_str());
+  trace(sim::TraceEventKind::kJobAborted, job.spec().name);
+  if (all_jobs_complete()) heartbeats_.stop();
+}
+
 void Engine::activate_job(JobRun& job) {
   active_jobs_.push_back(&job);
   ++jobs_activated_;
+  job.admitted_at = now();
   telemetry::inc(metrics_.jobs_activated);
   log_debug("t=%.1f activate job %s", now(), job.spec().name.c_str());
   trace(sim::TraceEventKind::kJobActivated, job.spec().name);
@@ -228,7 +334,12 @@ void Engine::assign_map(JobRun& job, std::size_t j, NodeId node) {
   job.note_map_assigned();
   telemetry::inc(metrics_.maps_assigned);
   telemetry::inc(metrics_.map_locality[static_cast<int>(s.locality)]);
-  if (job.first_task_start < 0.0) job.first_task_start = now();
+  if (job.first_task_start < 0.0) {
+    job.first_task_start = now();
+    if (admission_ != nullptr && job.admitted_at >= 0.0) {
+      admission_->note_queueing_delay(now() - job.admitted_at);
+    }
+  }
   trace(sim::TraceEventKind::kMapAssigned,
         strf("%s/map/%zu", job.spec().name.c_str(), j),
         strf("node=%zu locality=%s", node.value(), to_string(s.locality)));
@@ -409,6 +520,7 @@ void Engine::finish_map(JobRun& job, std::size_t j, bool backup) {
 
 void Engine::maybe_speculate(NodeId node) {
   const auto& fault = config_.fault;
+  if (fault.speculation_cap <= 0.0) return;  // backups disabled outright
   // At most one backup launch per heartbeat (it costs map budget like any
   // launch) — speculation is a repair mechanism, not a scheduler.
   if (heartbeat_map_budget_ > 0 &&
@@ -515,7 +627,12 @@ void Engine::assign_reduce(JobRun& job, std::size_t f, NodeId node) {
   job.note_reduce_assigned();
   telemetry::inc(metrics_.reduces_assigned);
   telemetry::inc(metrics_.reduce_locality[static_cast<int>(r.locality)]);
-  if (job.first_task_start < 0.0) job.first_task_start = now();
+  if (job.first_task_start < 0.0) {
+    job.first_task_start = now();
+    if (admission_ != nullptr && job.admitted_at >= 0.0) {
+      admission_->note_queueing_delay(now() - job.admitted_at);
+    }
+  }
   trace(sim::TraceEventKind::kReduceAssigned,
         strf("%s/reduce/%zu", job.spec().name.c_str(), f),
         strf("node=%zu locality=%s", node.value(), to_string(r.locality)));
@@ -706,9 +823,21 @@ void Engine::fail_node(NodeId node) {
   log_info("t=%.1f node %zu failed", now(), node.value());
   trace(sim::TraceEventKind::kNodeFailed, strf("node/%zu", node.value()));
 
+  // Jobs whose attempt cap was blown by this failure; aborted after the
+  // cluster state settles (abort kills attempts on other, alive nodes).
+  std::vector<JobRun*> doomed;
+  const auto note_attempt_loss = [this, &doomed](JobRun& job,
+                                                 std::size_t attempts) {
+    if (config_.max_task_attempts == 0) return;
+    if (attempts < config_.max_task_attempts) return;
+    if (std::find(doomed.begin(), doomed.end(), &job) == doomed.end()) {
+      doomed.push_back(&job);
+    }
+  };
+
   for (const auto& job_ptr : jobs_) {
     JobRun& job = *job_ptr;
-    if (job.complete()) continue;
+    if (job.complete() || job.finish_time >= 0.0 || job.rejected) continue;
 
     // --- map attempts on the failed node ---
     for (std::size_t j = 0; j < job.map_count(); ++j) {
@@ -726,6 +855,7 @@ void Engine::fail_node(NodeId node) {
         if (s.backup.active) kill_map_attempt(job, j, /*backup=*/true);
         kill_map_attempt(job, j, /*backup=*/false);
         job.note_map_attempt_lost();
+        note_attempt_loss(job, s.attempts);
       }
     }
 
@@ -757,6 +887,7 @@ void Engine::fail_node(NodeId node) {
       s.compute_duration = 0.0;
       ++s.epoch;
       job.note_map_output_lost();
+      note_attempt_loss(job, s.attempts);
       log_debug("t=%.1f map %zu of %s re-runs (output lost)", now(), j,
                 job.spec().name.c_str());
     }
@@ -769,12 +900,22 @@ void Engine::fail_node(NodeId node) {
                            r.phase == ReducePhase::kComputing;
       if (running && r.node == node) {
         kill_reduce_attempt(job, f);
+        note_attempt_loss(job, r.attempts);
       }
     }
   }
 
   touch_utilization();
   cluster_->set_node_alive(node, false);
+
+  const bool was_listed = blacklist_.listed(node);
+  blacklist_.note_failure(node, now());
+  if (!was_listed && blacklist_.listed(node)) {
+    trace(sim::TraceEventKind::kNodeBlacklisted,
+          strf("node/%zu", node.value()));
+  }
+
+  for (JobRun* job : doomed) abort_job(*job);
 }
 
 void Engine::recover_node(NodeId node) {
@@ -784,7 +925,25 @@ void Engine::recover_node(NodeId node) {
   trace(sim::TraceEventKind::kNodeRecovered,
         strf("node/%zu", node.value()));
   touch_utilization();
-  cluster_->set_node_alive(node, true);
+  std::uint64_t probation_epoch = 0;
+  const Seconds probation =
+      blacklist_.start_probation_on_recovery(node, &probation_epoch);
+  if (probation > 0.0) {
+    // Withhold slots first, then revive: the node never transits through
+    // the free-slot index while on probation.
+    cluster_->set_node_schedulable(node, false);
+    cluster_->set_node_alive(node, true);
+    simulation_->schedule_in(probation, [this, node, probation_epoch] {
+      if (!blacklist_.end_probation(node, probation_epoch)) return;
+      touch_utilization();
+      cluster_->set_node_schedulable(node, true);
+      trace(sim::TraceEventKind::kNodeUnblacklisted,
+            strf("node/%zu", node.value()));
+      log_info("t=%.1f node %zu off blacklist", now(), node.value());
+    });
+  } else {
+    cluster_->set_node_alive(node, true);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -824,6 +983,7 @@ std::vector<JobRecord> Engine::unfinished_job_records() const {
   for (const auto& job_ptr : jobs_) {
     const JobRun& job = *job_ptr;
     if (job.finish_time >= 0.0) continue;  // completed: in job_records()
+    if (job.rejected) continue;  // never entered the system
     JobRecord rec;
     rec.id = job.id();
     rec.name = job.spec().name;
@@ -869,7 +1029,7 @@ void Engine::check_job_complete(JobRun& job) {
         strf("jct=%.3f", job.finish_time - job.submit_time));
   log_debug("t=%.1f job %s complete (%zu/%zu)", now(),
             job.spec().name.c_str(), jobs_completed_, jobs_.size());
-  if (jobs_completed_ == jobs_.size()) heartbeats_.stop();
+  if (all_jobs_complete()) heartbeats_.stop();
 }
 
 }  // namespace mrs::mapreduce

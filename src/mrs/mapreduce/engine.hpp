@@ -16,6 +16,8 @@
 #include "mrs/cluster/cluster.hpp"
 #include "mrs/cluster/heartbeat.hpp"
 #include "mrs/common/rng.hpp"
+#include "mrs/control/admission.hpp"
+#include "mrs/control/blacklist.hpp"
 #include "mrs/dfs/block_store.hpp"
 #include "mrs/mapreduce/job_run.hpp"
 #include "mrs/mapreduce/records.hpp"
@@ -76,6 +78,11 @@ struct EngineConfig {
   std::size_t maps_per_heartbeat = 1;
   std::size_t reduces_per_heartbeat = 1;
   FaultModelConfig fault;
+  /// Abort a job when any of its tasks loses this many attempts to node
+  /// failures (Hadoop's mapred.map.max.attempts); 0 = never abort.
+  std::size_t max_task_attempts = 0;
+  /// Repeatedly failing nodes sit out a probation after recovery.
+  control::BlacklistConfig blacklist;
 };
 
 class Engine {
@@ -102,6 +109,14 @@ class Engine {
   /// predictable branch per event.
   void set_telemetry(telemetry::Registry* registry);
 
+  /// Optional admission controller (may be null; must outlive the run).
+  /// When installed, every arrival is routed through it at submit time:
+  /// admitted jobs activate, deferred ones retry after the returned
+  /// backoff, rejected ones never enter the system.
+  void set_admission(control::AdmissionController* controller) {
+    admission_ = controller;
+  }
+
   /// Queue a job; it activates at spec.submit_time. `rng` draws the job's
   /// intermediate-data ground truth.
   JobRun& submit(JobSpec spec, Rng rng);
@@ -109,15 +124,22 @@ class Engine {
   /// Arm heartbeats and job activations; then drive `simulation->run()`.
   void start();
 
-  /// True once every submitted job has completed.
+  /// True once every submitted job has been resolved: completed, rejected
+  /// at admission, or aborted.
   [[nodiscard]] bool all_jobs_complete() const {
-    return jobs_completed_ == jobs_.size();
+    return jobs_completed_ + jobs_rejected_ + jobs_aborted_ == jobs_.size();
   }
 
   [[nodiscard]] std::size_t jobs_submitted() const { return jobs_.size(); }
   [[nodiscard]] std::size_t jobs_completed() const { return jobs_completed_; }
+  [[nodiscard]] std::size_t jobs_rejected() const { return jobs_rejected_; }
+  [[nodiscard]] std::size_t jobs_aborted() const { return jobs_aborted_; }
   /// Jobs activated (reached their submit time) so far.
   [[nodiscard]] std::size_t jobs_activated() const { return jobs_activated_; }
+
+  [[nodiscard]] const control::NodeBlacklist& blacklist() const {
+    return blacklist_;
+  }
 
   // --- scheduler-facing queries ---
   [[nodiscard]] Seconds now() const { return simulation_->now(); }
@@ -212,6 +234,13 @@ class Engine {
 
  private:
   void on_heartbeat(NodeId node);
+  /// Route an arrival through the admission controller (or straight to
+  /// activation when none is installed). `attempt` counts prior deferrals.
+  void try_admit(JobRun& job, std::size_t attempt);
+  void reject_job(JobRun& job);
+  /// Force-terminate a job mid-run: kill its running attempts, emit an
+  /// aborted JobRecord, drop it from the active set.
+  void abort_job(JobRun& job);
   void activate_job(JobRun& job);
   /// Post-startup step of a map attempt: local read -> compute, remote ->
   /// application-limited stream.
@@ -254,6 +283,7 @@ class Engine {
     telemetry::Counter* speculative_launches = nullptr;
     telemetry::Counter* nodes_failed = nullptr;
     telemetry::Counter* nodes_recovered = nullptr;
+    telemetry::Counter* jobs_aborted = nullptr;
     telemetry::Counter* map_locality[3] = {};     ///< node/rack/remote
     telemetry::Counter* reduce_locality[3] = {};  ///< node/rack/remote
     telemetry::TimerStat* heartbeat_wall = nullptr;
@@ -268,6 +298,8 @@ class Engine {
   Rng rng_;
   TaskScheduler* scheduler_ = nullptr;
   sim::TraceSink* trace_ = nullptr;
+  control::AdmissionController* admission_ = nullptr;
+  control::NodeBlacklist blacklist_;
   Metrics metrics_;
   cluster::HeartbeatService heartbeats_;
   std::size_t failures_injected_ = 0;
@@ -277,6 +309,8 @@ class Engine {
   std::vector<JobRun*> active_jobs_;
   std::size_t jobs_completed_ = 0;
   std::size_t jobs_activated_ = 0;
+  std::size_t jobs_rejected_ = 0;
+  std::size_t jobs_aborted_ = 0;
   bool started_ = false;
 
   std::vector<TaskRecord> task_records_;

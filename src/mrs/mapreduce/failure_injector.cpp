@@ -15,6 +15,7 @@ FailureInjector::FailureInjector(sim::Simulation* simulation, Engine* engine,
   MRS_REQUIRE(simulation_ != nullptr && engine_ != nullptr &&
               cluster_ != nullptr);
   MRS_REQUIRE(config_.repair_time > 0.0);
+  MRS_REQUIRE(config_.repair_jitter >= 0.0 && config_.repair_jitter < 1.0);
 }
 
 void FailureInjector::start() {
@@ -28,8 +29,14 @@ void FailureInjector::arm_next() {
 }
 
 void FailureInjector::fire() {
-  // Stop once the workload is done so the event queue can drain.
-  if (engine_->all_jobs_complete()) return;
+  // Stop once the workload is done so the event queue can drain — but not
+  // while the arrival horizon is still open: with an open-loop stream,
+  // "everything currently in the system resolved" is just a quiet gap, and
+  // disarming here would permanently end injection mid-stream.
+  if (engine_->all_jobs_complete() &&
+      simulation_->now() >= config_.arm_horizon) {
+    return;
+  }
 
   std::vector<NodeId> alive;
   for (std::size_t i = 0; i < cluster_->node_count(); ++i) {
@@ -40,7 +47,12 @@ void FailureInjector::fire() {
     const NodeId victim = alive[rng_.index(alive.size())];
     engine_->fail_node(victim);
     ++fired_;
-    simulation_->schedule_in(config_.repair_time, [this, victim] {
+    Seconds repair = config_.repair_time;
+    if (config_.repair_jitter > 0.0) {
+      repair *= rng_.uniform(1.0 - config_.repair_jitter,
+                             1.0 + config_.repair_jitter);
+    }
+    simulation_->schedule_in(repair, [this, victim] {
       engine_->recover_node(victim);
     });
   }

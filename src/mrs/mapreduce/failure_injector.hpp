@@ -17,6 +17,15 @@ struct FailureInjectorConfig {
   Seconds cluster_mtbf = 0.0;
   /// TaskTracker restart time.
   Seconds repair_time = 120.0;
+  /// Relative jitter on each repair: the realized time is drawn uniformly
+  /// from repair_time * [1 - jitter, 1 + jitter]. 0 keeps the fixed
+  /// repair_time (and the historical RNG stream) exactly.
+  double repair_jitter = 0.0;
+  /// Keep arming at least until this sim time even when every job already
+  /// in the system has resolved — an open-loop arrival stream has quiet
+  /// gaps, and the injector must not disarm during one. 0 preserves the
+  /// batch behavior (stop as soon as the workload is done).
+  Seconds arm_horizon = 0.0;
 };
 
 class FailureInjector {

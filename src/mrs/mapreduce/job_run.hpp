@@ -275,6 +275,11 @@ class JobRun {
   Seconds submit_time = 0.0;
   Seconds finish_time = -1.0;
   Seconds first_task_start = -1.0;
+  /// When the admission controller let the job in (== submit_time with no
+  /// controller); the queueing-delay feedback measures from here.
+  Seconds admitted_at = -1.0;
+  bool aborted = false;   ///< force-terminated by the attempt-cap check
+  bool rejected = false;  ///< never admitted; holds no tasks or records
 
  private:
   /// Advance a cursor past assigned tasks; returns the front unassigned

@@ -43,6 +43,9 @@ struct JobRecord {
   Bytes shuffle_bytes = 0.0;  ///< total ground-truth intermediate data
   Seconds submit_time = 0.0;
   Seconds finish_time = 0.0;
+  /// Job was force-terminated (task attempt cap exceeded after node
+  /// failures); finish_time is the abort time, not a completion.
+  bool aborted = false;
 
   [[nodiscard]] Seconds completion_time() const {
     return finish_time - submit_time;

@@ -34,7 +34,8 @@ PercentileSummary summarize_percentiles(std::span<const double> sample) {
 SteadyStateSummary steady_state_summary(
     std::span<const mapreduce::JobRecord> jobs,
     std::span<const mapreduce::TaskRecord> tasks, Window window,
-    std::size_t total_map_slots, std::size_t total_reduce_slots) {
+    std::size_t total_map_slots, std::size_t total_reduce_slots,
+    std::span<const control::ArrivalOutcome> outcomes) {
   MRS_REQUIRE(window.length() > 0.0);
   SteadyStateSummary out;
   out.window = window;
@@ -60,19 +61,45 @@ SteadyStateSummary steady_state_summary(
     const bool finished = j.finish_time >= j.submit_time;
     in_system_integral +=
         overlap(j.submit_time, finished ? j.finish_time : window.end, window);
-    if (finished && window.contains(j.finish_time)) ++out.jobs_completed;
+    // Aborted jobs end at their abort time (they occupy the system until
+    // then) but are not goodput and have no meaningful response time.
+    if (finished && !j.aborted && window.contains(j.finish_time)) {
+      ++out.jobs_completed;
+    }
+    if (j.aborted && window.contains(j.finish_time)) ++out.jobs_aborted;
     if (!window.contains(j.submit_time)) continue;
     ++out.jobs_submitted;
     offered_bytes += j.input_bytes;
-    if (finished) {
+    if (finished && !j.aborted) {
       response.push_back(j.completion_time());
-    } else {
+    } else if (!finished) {
       ++out.jobs_unfinished;
     }
     if (auto it = first_assignment.find(j.id.value());
         it != first_assignment.end()) {
       delay.push_back(std::max(0.0, it->second - j.submit_time));
     }
+  }
+
+  // Admission ledger: rejected arrivals never produced a JobRecord, so the
+  // offered load must be completed from here; deferred arrivals feed the
+  // deferral-delay sample (arrival -> final decision).
+  std::vector<double> deferral;
+  for (const auto& o : outcomes) {
+    if (!window.contains(o.arrival_time)) continue;
+    if (o.resolved && !o.admitted) {
+      ++out.jobs_rejected;
+      ++out.jobs_submitted;
+    }
+    if (o.deferrals > 0) {
+      ++out.jobs_deferred;
+      if (o.resolved) deferral.push_back(o.decided_time - o.arrival_time);
+    }
+  }
+  out.deferral_delay = summarize_percentiles(deferral);
+  if (out.jobs_submitted > 0) {
+    out.rejection_rate = static_cast<double>(out.jobs_rejected) /
+                         static_cast<double>(out.jobs_submitted);
   }
   out.offered_jobs_per_hour = static_cast<double>(out.jobs_submitted) / hours;
   out.throughput_jobs_per_hour =

@@ -11,6 +11,7 @@
 #include <span>
 
 #include "mrs/common/units.hpp"
+#include "mrs/control/admission.hpp"
 #include "mrs/mapreduce/records.hpp"
 
 namespace mrs::metrics {
@@ -54,6 +55,16 @@ struct SteadyStateSummary {
   double throughput_jobs_per_hour = 0.0;  ///< goodput (completions / time)
   BytesPerSec offered_bytes_per_sec = 0.0;  ///< input bytes arriving / s
 
+  // --- control plane (admission + aborts; zero without a controller) ---
+  std::size_t jobs_rejected = 0;  ///< window arrivals denied admission
+  std::size_t jobs_aborted = 0;   ///< in-window aborts (attempt cap)
+  /// Window arrivals that sat in the deferral queue at least once.
+  std::size_t jobs_deferred = 0;
+  /// jobs_rejected / window arrivals (0 when no arrivals).
+  double rejection_rate = 0.0;
+  /// Arrival -> final admit/reject decision for deferred window arrivals.
+  PercentileSummary deferral_delay;
+
   // --- per-job latency (jobs submitted inside the window) ---
   PercentileSummary response_time;  ///< submit -> finish
   PercentileSummary queueing_delay;  ///< submit -> first task assignment
@@ -74,9 +85,17 @@ struct SteadyStateSummary {
 /// Engine::unfinished_job_records(), whose finish_time sentinel (< submit
 /// time) routes them into `jobs_unfinished` and keeps the latency
 /// percentiles clean of negative response times.
+///
+/// `outcomes` (optional) is the admission controller's arrival ledger:
+/// rejected arrivals have no JobRecord at all, so they are counted into
+/// jobs_submitted / jobs_rejected from here; deferred-then-admitted ones
+/// feed the deferral-delay percentiles. Aborted jobs are recognized by
+/// JobRecord::aborted — they occupy the system until the abort but count
+/// as neither completions nor response-time samples.
 [[nodiscard]] SteadyStateSummary steady_state_summary(
     std::span<const mapreduce::JobRecord> jobs,
     std::span<const mapreduce::TaskRecord> tasks, Window window,
-    std::size_t total_map_slots, std::size_t total_reduce_slots);
+    std::size_t total_map_slots, std::size_t total_reduce_slots,
+    std::span<const control::ArrivalOutcome> outcomes = {});
 
 }  // namespace mrs::metrics

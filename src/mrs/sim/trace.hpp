@@ -25,6 +25,11 @@ enum class TraceEventKind {
   kSpeculativeLaunch,
   kNodeFailed,
   kNodeRecovered,
+  kJobDeferred,
+  kJobRejected,
+  kJobAborted,
+  kNodeBlacklisted,
+  kNodeUnblacklisted,
 };
 
 [[nodiscard]] constexpr const char* to_string(TraceEventKind k) {
@@ -40,6 +45,11 @@ enum class TraceEventKind {
     case TraceEventKind::kSpeculativeLaunch: return "speculative-launch";
     case TraceEventKind::kNodeFailed: return "node-failed";
     case TraceEventKind::kNodeRecovered: return "node-recovered";
+    case TraceEventKind::kJobDeferred: return "job-deferred";
+    case TraceEventKind::kJobRejected: return "job-rejected";
+    case TraceEventKind::kJobAborted: return "job-aborted";
+    case TraceEventKind::kNodeBlacklisted: return "node-blacklisted";
+    case TraceEventKind::kNodeUnblacklisted: return "node-unblacklisted";
   }
   return "?";
 }

@@ -1,0 +1,369 @@
+// Tests for the control plane: admission policies, the deferral budget,
+// node blacklisting, and their integration with the engine.
+#include <gtest/gtest.h>
+
+#include "mrs/control/admission.hpp"
+#include "mrs/control/blacklist.hpp"
+#include "mrs/sched/fifo.hpp"
+#include "test_harness.hpp"
+
+namespace mrs::control {
+namespace {
+
+using mrs::testing::MiniCluster;
+
+AdmissionObservables obs_at(Seconds now, std::size_t jobs_in_system) {
+  AdmissionObservables obs;
+  obs.now = now;
+  obs.jobs_in_system = jobs_in_system;
+  return obs;
+}
+
+TEST(Admission, AlwaysAdmitNeverDefers) {
+  AdmissionController ctl({});
+  for (std::size_t j = 0; j < 10; ++j) {
+    const auto d = ctl.on_arrival(JobId(j), 0.0, 0, obs_at(0.0, 100));
+    EXPECT_EQ(d.action, AdmissionAction::kAdmit);
+  }
+  EXPECT_EQ(ctl.jobs_admitted(), 10u);
+  EXPECT_EQ(ctl.jobs_rejected(), 0u);
+  EXPECT_EQ(ctl.deferrals_issued(), 0u);
+  for (const auto& o : ctl.outcomes()) {
+    EXPECT_TRUE(o.resolved);
+    EXPECT_TRUE(o.admitted);
+    EXPECT_EQ(o.deferrals, 0u);
+  }
+}
+
+TEST(Admission, StaticThresholdDefersAtLimit) {
+  AdmissionConfig cfg;
+  cfg.policy = AdmissionPolicyKind::kStaticThreshold;
+  cfg.max_jobs_in_system = 3.0;
+  AdmissionController ctl(cfg);
+  EXPECT_EQ(ctl.on_arrival(JobId(0), 0.0, 0, obs_at(0.0, 2)).action,
+            AdmissionAction::kAdmit);
+  EXPECT_EQ(ctl.on_arrival(JobId(1), 0.0, 0, obs_at(0.0, 3)).action,
+            AdmissionAction::kDefer);
+  EXPECT_EQ(ctl.deferral_queue_depth(), 1u);
+}
+
+TEST(Admission, BackoffDoublesThenRejects) {
+  // Defer every attempt: backoffs 15, 30, 60, 120, then the budget of 4
+  // deferrals is spent and the fifth decision is a hard reject.
+  AdmissionConfig cfg;
+  cfg.policy = AdmissionPolicyKind::kStaticThreshold;
+  cfg.max_jobs_in_system = 1.0;
+  AdmissionController ctl(cfg);
+  const Seconds expected[] = {15.0, 30.0, 60.0, 120.0};
+  Seconds now = 0.0;
+  for (std::size_t attempt = 0; attempt < 4; ++attempt) {
+    const auto d = ctl.on_arrival(JobId(0), 0.0, attempt, obs_at(now, 5));
+    ASSERT_EQ(d.action, AdmissionAction::kDefer);
+    EXPECT_DOUBLE_EQ(d.retry_in, expected[attempt]);
+    EXPECT_EQ(ctl.deferral_queue_depth(), 1u);
+    now += d.retry_in;
+  }
+  const auto final = ctl.on_arrival(JobId(0), 0.0, 4, obs_at(now, 5));
+  EXPECT_EQ(final.action, AdmissionAction::kReject);
+  EXPECT_EQ(ctl.deferral_queue_depth(), 0u);
+  EXPECT_EQ(ctl.jobs_rejected(), 1u);
+  EXPECT_EQ(ctl.deferrals_issued(), 4u);
+  ASSERT_EQ(ctl.outcomes().size(), 1u);
+  const ArrivalOutcome& o = ctl.outcomes().front();
+  EXPECT_TRUE(o.resolved);
+  EXPECT_FALSE(o.admitted);
+  EXPECT_EQ(o.deferrals, 4u);
+  EXPECT_DOUBLE_EQ(o.arrival_time, 0.0);
+  EXPECT_DOUBLE_EQ(o.decided_time, 15.0 + 30.0 + 60.0 + 120.0);
+}
+
+TEST(Admission, BackoffCapsAtMax) {
+  AdmissionConfig cfg;
+  cfg.policy = AdmissionPolicyKind::kStaticThreshold;
+  cfg.max_jobs_in_system = 1.0;
+  cfg.deferral.max_deferrals = 8;  // enough room to hit the cap
+  AdmissionController ctl(cfg);
+  Seconds last = 0.0;
+  for (std::size_t attempt = 0; attempt < 8; ++attempt) {
+    const auto d = ctl.on_arrival(JobId(0), 0.0, attempt, obs_at(0.0, 5));
+    ASSERT_EQ(d.action, AdmissionAction::kDefer);
+    EXPECT_LE(d.retry_in, cfg.deferral.max_backoff);
+    EXPECT_GE(d.retry_in, last);  // non-decreasing
+    last = d.retry_in;
+  }
+  EXPECT_DOUBLE_EQ(last, cfg.deferral.max_backoff);
+}
+
+TEST(Admission, TokenBucketRefillsOverTime) {
+  AdmissionConfig cfg;
+  cfg.policy = AdmissionPolicyKind::kTokenBucket;
+  cfg.bucket_rate_per_hour = 3600.0;  // 1 token / second
+  cfg.bucket_capacity = 2.0;
+  AdmissionController ctl(cfg);
+  // Burst of three at t=0: two tokens, so the third defers.
+  EXPECT_EQ(ctl.on_arrival(JobId(0), 0.0, 0, obs_at(0.0, 0)).action,
+            AdmissionAction::kAdmit);
+  EXPECT_EQ(ctl.on_arrival(JobId(1), 0.0, 0, obs_at(0.0, 1)).action,
+            AdmissionAction::kAdmit);
+  EXPECT_EQ(ctl.on_arrival(JobId(2), 0.0, 0, obs_at(0.0, 2)).action,
+            AdmissionAction::kDefer);
+  // After 1.5 s one whole token has accrued: the retry is admitted, and a
+  // straggler right behind it is not.
+  EXPECT_EQ(ctl.on_arrival(JobId(2), 0.0, 1, obs_at(1.5, 2)).action,
+            AdmissionAction::kAdmit);
+  EXPECT_EQ(ctl.on_arrival(JobId(3), 1.5, 0, obs_at(1.5, 3)).action,
+            AdmissionAction::kDefer);
+}
+
+TEST(Admission, AdaptiveLimitMovesWithDelay) {
+  AdmissionConfig cfg;
+  cfg.policy = AdmissionPolicyKind::kAdaptive;
+  cfg.max_jobs_in_system = 4.0;  // initial limit
+  cfg.adaptive_target_delay = 10.0;
+  cfg.adaptive_min_limit = 2.0;
+  cfg.adaptive_max_limit = 8.0;
+  cfg.adaptive_step = 0.5;
+  cfg.adaptive_decrease = 0.5;
+  AdmissionController ctl(cfg);
+  EXPECT_DOUBLE_EQ(ctl.backlog_limit(), 4.0);
+  // A sample above target halves the limit (multiplicative decrease).
+  ctl.note_queueing_delay(20.0);
+  EXPECT_DOUBLE_EQ(ctl.backlog_limit(), 2.0);
+  // Repeated decreases clamp at the minimum.
+  ctl.note_queueing_delay(20.0);
+  EXPECT_DOUBLE_EQ(ctl.backlog_limit(), 2.0);
+  // Samples below target step the limit back up, clamped at the maximum.
+  for (int i = 0; i < 100; ++i) ctl.note_queueing_delay(1.0);
+  EXPECT_DOUBLE_EQ(ctl.backlog_limit(), 8.0);
+  // The limit is the live admit/defer boundary.
+  EXPECT_EQ(ctl.on_arrival(JobId(0), 0.0, 0, obs_at(0.0, 7)).action,
+            AdmissionAction::kAdmit);
+  EXPECT_EQ(ctl.on_arrival(JobId(1), 0.0, 0, obs_at(0.0, 8)).action,
+            AdmissionAction::kDefer);
+}
+
+TEST(Admission, DelayEwmaTracksSamples) {
+  AdmissionConfig cfg;
+  cfg.delay_ewma_alpha = 0.2;
+  AdmissionController ctl(cfg);
+  EXPECT_DOUBLE_EQ(ctl.queueing_delay_ewma(), 0.0);
+  ctl.note_queueing_delay(10.0);  // first sample seeds the EWMA exactly
+  EXPECT_DOUBLE_EQ(ctl.queueing_delay_ewma(), 10.0);
+  ctl.note_queueing_delay(20.0);
+  EXPECT_DOUBLE_EQ(ctl.queueing_delay_ewma(), 0.8 * 10.0 + 0.2 * 20.0);
+}
+
+TEST(Admission, LedgerConservation) {
+  // Every arrival resolves to exactly one of admitted / rejected, and the
+  // ledger covers every distinct job that reached a decision.
+  AdmissionConfig cfg;
+  cfg.policy = AdmissionPolicyKind::kStaticThreshold;
+  cfg.max_jobs_in_system = 2.0;
+  cfg.deferral.max_deferrals = 1;
+  AdmissionController ctl(cfg);
+  std::size_t resolved = 0;
+  for (std::size_t j = 0; j < 20; ++j) {
+    // Alternate a loaded and an idle system so all three paths are taken.
+    const std::size_t backlog = j % 3 == 0 ? 5 : 0;
+    auto d = ctl.on_arrival(JobId(j), 0.0, 0, obs_at(0.0, backlog));
+    if (d.action == AdmissionAction::kDefer) {
+      d = ctl.on_arrival(JobId(j), 0.0, 1, obs_at(15.0, backlog));
+    }
+    ASSERT_NE(d.action, AdmissionAction::kDefer);  // budget is 1
+    ++resolved;
+  }
+  EXPECT_EQ(ctl.outcomes().size(), 20u);
+  EXPECT_EQ(ctl.jobs_admitted() + ctl.jobs_rejected(), resolved);
+  EXPECT_EQ(ctl.deferral_queue_depth(), 0u);
+}
+
+TEST(Blacklist, DisabledIsNoop) {
+  NodeBlacklist bl(4, {});
+  bl.note_failure(NodeId(0), 0.0);
+  bl.note_failure(NodeId(0), 1.0);
+  bl.note_failure(NodeId(0), 2.0);
+  EXPECT_FALSE(bl.listed(NodeId(0)));
+  std::uint64_t epoch = 0;
+  EXPECT_DOUBLE_EQ(bl.start_probation_on_recovery(NodeId(0), &epoch), 0.0);
+  EXPECT_EQ(bl.entries(), 0u);
+}
+
+TEST(Blacklist, SlidingWindowCountsRecentFailuresOnly) {
+  BlacklistConfig cfg;
+  cfg.enabled = true;
+  cfg.failure_threshold = 2;
+  cfg.window = 100.0;
+  NodeBlacklist bl(4, cfg);
+  bl.note_failure(NodeId(0), 0.0);
+  EXPECT_FALSE(bl.listed(NodeId(0)));
+  // 200 s later the first failure has aged out: still only one in window.
+  bl.note_failure(NodeId(0), 200.0);
+  EXPECT_FALSE(bl.listed(NodeId(0)));
+  // A second failure inside the window lists the node.
+  bl.note_failure(NodeId(0), 250.0);
+  EXPECT_TRUE(bl.listed(NodeId(0)));
+  EXPECT_EQ(bl.entries(), 1u);
+  // Other nodes are untouched.
+  EXPECT_FALSE(bl.listed(NodeId(1)));
+}
+
+TEST(Blacklist, ProbationEndsOnlyWithMatchingEpoch) {
+  BlacklistConfig cfg;
+  cfg.enabled = true;
+  cfg.failure_threshold = 1;
+  cfg.probation = 300.0;
+  NodeBlacklist bl(2, cfg);
+  bl.note_failure(NodeId(0), 10.0);
+  ASSERT_TRUE(bl.listed(NodeId(0)));
+  std::uint64_t epoch = 0;
+  EXPECT_DOUBLE_EQ(bl.start_probation_on_recovery(NodeId(0), &epoch), 300.0);
+  // A failure during probation invalidates the pending timer...
+  bl.note_failure(NodeId(0), 100.0);
+  EXPECT_FALSE(bl.end_probation(NodeId(0), epoch));  // stale: no-op
+  EXPECT_TRUE(bl.listed(NodeId(0)));
+  // ...and the next recovery starts a fresh probation that does complete.
+  std::uint64_t epoch2 = 0;
+  EXPECT_DOUBLE_EQ(bl.start_probation_on_recovery(NodeId(0), &epoch2),
+                   300.0);
+  EXPECT_NE(epoch2, epoch);
+  EXPECT_TRUE(bl.end_probation(NodeId(0), epoch2));
+  EXPECT_FALSE(bl.listed(NodeId(0)));
+  EXPECT_EQ(bl.exits(), 1u);
+}
+
+TEST(ControlEngine, BlacklistedNodeSitsOutProbation) {
+  mapreduce::EngineConfig cfg;
+  cfg.blacklist.enabled = true;
+  cfg.blacklist.failure_threshold = 1;
+  cfg.blacklist.probation = 10.0;
+  MiniCluster h(3, {}, cfg);
+  mapreduce::JobRun& job = h.submit_job(60, 2);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  h.engine.start();
+  h.sim.schedule_at(1.0, [&] { h.engine.fail_node(NodeId(1)); });
+  h.sim.schedule_at(3.0, [&] { h.engine.recover_node(NodeId(1)); });
+  h.sim.run(1e6);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  EXPECT_EQ(h.engine.blacklist().entries(), 1u);
+  EXPECT_EQ(h.engine.blacklist().exits(), 1u);
+  EXPECT_FALSE(h.engine.blacklist().listed(NodeId(1)));
+  // Probation covers (recovery, recovery + 10): the node got no new work
+  // in that span even though it was alive, and was reused afterwards.
+  bool post_probation_use = false;
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    const auto& m = job.map_state(j);
+    if (m.node == NodeId(1)) {
+      EXPECT_FALSE(m.assigned_at > 3.0 && m.assigned_at < 13.0 - 1e-9);
+      if (m.assigned_at >= 13.0 - 1e-9) post_probation_use = true;
+    }
+  }
+  EXPECT_TRUE(post_probation_use);
+}
+
+TEST(ControlEngine, BlacklistDisabledRestoresImmediately) {
+  MiniCluster h(3);
+  mapreduce::JobRun& job = h.submit_job(60, 2);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  h.engine.start();
+  h.sim.schedule_at(1.0, [&] { h.engine.fail_node(NodeId(1)); });
+  h.sim.schedule_at(3.0, [&] { h.engine.recover_node(NodeId(1)); });
+  h.sim.run(1e6);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  EXPECT_EQ(h.engine.blacklist().entries(), 0u);
+  // Without blacklisting the node picks up work right after recovery.
+  bool early_reuse = false;
+  for (std::size_t j = 0; j < job.map_count(); ++j) {
+    const auto& m = job.map_state(j);
+    if (m.node == NodeId(1) && m.assigned_at > 3.0 &&
+        m.assigned_at < 13.0) {
+      early_reuse = true;
+    }
+  }
+  EXPECT_TRUE(early_reuse);
+}
+
+TEST(ControlEngine, AttemptCapAbortsJob) {
+  mapreduce::EngineConfig cfg;
+  cfg.max_task_attempts = 1;  // any killed attempt dooms its job
+  MiniCluster h(3, {}, cfg);
+  h.submit_job(12, 2);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  h.engine.start();
+  h.sim.schedule_at(2.0, [&] { h.engine.fail_node(NodeId(0)); });
+  h.sim.run(1e6);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  EXPECT_EQ(h.engine.jobs_aborted(), 1u);
+  ASSERT_EQ(h.engine.job_records().size(), 1u);
+  const auto& rec = h.engine.job_records().front();
+  EXPECT_TRUE(rec.aborted);
+  EXPECT_DOUBLE_EQ(rec.finish_time, 2.0);
+  // The abort released every slot.
+  EXPECT_EQ(h.clstr.busy_map_slots(), 0u);
+  EXPECT_EQ(h.clstr.busy_reduce_slots(), 0u);
+}
+
+TEST(ControlEngine, UnlimitedAttemptsNeverAbort) {
+  mapreduce::EngineConfig cfg;
+  cfg.max_task_attempts = 0;  // default: retry forever
+  MiniCluster h(3, {}, cfg);
+  h.submit_job(12, 2);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  h.engine.start();
+  h.sim.schedule_at(2.0, [&] { h.engine.fail_node(NodeId(0)); });
+  h.sim.run(1e6);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  EXPECT_EQ(h.engine.jobs_aborted(), 0u);
+  EXPECT_FALSE(h.engine.job_records().front().aborted);
+}
+
+TEST(ControlEngine, DeferredJobAdmittedWhenBacklogClears) {
+  control::AdmissionConfig acfg;
+  acfg.policy = AdmissionPolicyKind::kStaticThreshold;
+  acfg.max_jobs_in_system = 1.0;
+  AdmissionController ctl(acfg);
+  MiniCluster h(3);
+  h.submit_job(4, 1);
+  mapreduce::JobRun& second = h.submit_job(4, 1);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  h.engine.set_admission(&ctl);
+  h.engine.start();
+  h.sim.run(1e6);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  // Both jobs eventually ran; the second waited out at least one backoff.
+  EXPECT_EQ(ctl.jobs_admitted(), 2u);
+  EXPECT_EQ(ctl.jobs_rejected(), 0u);
+  EXPECT_GE(ctl.deferrals_issued(), 1u);
+  EXPECT_GE(second.map_state(0).assigned_at, 15.0);
+  EXPECT_EQ(h.engine.jobs_rejected(), 0u);
+}
+
+TEST(ControlEngine, ExhaustedDeferralsRejectJob) {
+  control::AdmissionConfig acfg;
+  acfg.policy = AdmissionPolicyKind::kStaticThreshold;
+  acfg.max_jobs_in_system = 1.0;
+  acfg.deferral.max_deferrals = 1;
+  acfg.deferral.initial_backoff = 0.5;  // retries while job 0 still runs
+  AdmissionController ctl(acfg);
+  MiniCluster h(3);
+  h.submit_job(40, 2);  // long enough to outlive the retry budget
+  h.submit_job(4, 1);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  h.engine.set_admission(&ctl);
+  h.engine.start();
+  h.sim.run(1e6);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  EXPECT_EQ(h.engine.jobs_rejected(), 1u);
+  EXPECT_EQ(ctl.jobs_rejected(), 1u);
+  // The rejected job left no job record; the completed one did.
+  EXPECT_EQ(h.engine.job_records().size(), 1u);
+  EXPECT_FALSE(h.engine.job_records().front().aborted);
+}
+
+}  // namespace
+}  // namespace mrs::control

@@ -114,6 +114,40 @@ TEST_P(EquivalenceTest, SaturationStreamIdentical) {
                    fast.steady.reduce_slot_utilization);
 }
 
+TEST_P(EquivalenceTest, AlwaysAdmitControllerIsNoop) {
+  // The default control plane (always-admit policy, blacklisting off) must
+  // be a provable no-op: a run with the controller installed is
+  // byte-identical to a run with no controller at all, with and without
+  // failure injection.
+  const auto [kind, seed] = GetParam();
+  for (const Seconds mtbf : {0.0, 120.0}) {
+    StreamConfig cfg;
+    cfg.base = paper_config(batch_jobs(), kind, seed);
+    cfg.base.nodes = 8;
+    cfg.base.failures.cluster_mtbf = mtbf;
+    cfg.arrivals.process = workload::ArrivalProcess::kPoisson;
+    cfg.arrivals.rate_per_hour = 480.0;  // saturating: nonempty backlog
+    cfg.arrivals.duration = 400.0;
+    cfg.arrivals.mix.map_count_scale = 0.02;
+    cfg.arrivals.mix.reduce_count_scale = 0.02;
+    cfg.warmup = 50.0;
+    StreamConfig bare_cfg = cfg;
+    bare_cfg.base.enable_admission = false;
+    const auto with = run_stream_experiment(cfg);
+    const auto bare = run_stream_experiment(bare_cfg);
+    expect_identical_results(bare.run, with.run);
+    EXPECT_EQ(with.run.admission_policy, "always-admit");
+    EXPECT_TRUE(bare.run.admission_policy.empty());
+    // The controller's ledger agrees: everything admitted immediately.
+    EXPECT_EQ(with.steady.jobs_rejected, 0u);
+    EXPECT_EQ(with.steady.jobs_deferred, 0u);
+    EXPECT_EQ(with.steady.jobs_submitted, bare.steady.jobs_submitted);
+    EXPECT_EQ(with.steady.jobs_completed, bare.steady.jobs_completed);
+    EXPECT_DOUBLE_EQ(with.steady.response_time.p99,
+                     bare.steady.response_time.p99);
+  }
+}
+
 std::string param_name(
     const ::testing::TestParamInfo<std::tuple<SchedulerKind, std::uint64_t>>&
         info) {

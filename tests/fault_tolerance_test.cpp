@@ -208,6 +208,69 @@ TEST(Speculation, AttemptsRecorded) {
   EXPECT_TRUE(multi_attempt);
 }
 
+TEST(Stragglers, ReduceStragglersSlowCompletion) {
+  // Reduce-side stragglers are off by default; with them on, near-certain
+  // slowdown draws on every reduce must stretch the makespan.
+  auto run_with = [](bool reduce_stragglers) {
+    mapreduce::EngineConfig cfg;
+    cfg.fault.straggler_probability = 0.9;
+    cfg.fault.straggler_slowdown = 8.0;
+    cfg.fault.reduce_stragglers = reduce_stragglers;
+    MiniCluster h(4, {}, cfg);
+    h.submit_job(8, 6);
+    sched::FifoScheduler fifo;
+    h.run(fifo);
+    EXPECT_TRUE(h.engine.all_jobs_complete());
+    return h.engine.job_records().front().completion_time();
+  };
+  EXPECT_GT(run_with(true), run_with(false));
+}
+
+TEST(Speculation, CapZeroDisablesBackups) {
+  mapreduce::EngineConfig cfg;
+  cfg.fault.straggler_probability = 0.3;
+  cfg.fault.straggler_slowdown = 10.0;
+  cfg.fault.speculative_execution = true;
+  cfg.fault.speculation_slack = 1.5;
+  cfg.fault.speculation_cap = 0.0;  // speculation on, but no backup budget
+  MiniCluster h(6, {}, cfg);
+  h.submit_job(30, 2);
+  sched::FifoScheduler fifo;
+  h.run(fifo);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  EXPECT_EQ(h.engine.speculative_attempts(), 0u);
+}
+
+TEST(Speculation, ActiveBackupsRespectCap) {
+  // cap * map_count = 0.025 * 40 = 1: at most one backup may be in flight
+  // per job at any instant, however many stragglers are eligible.
+  mapreduce::EngineConfig cfg;
+  cfg.fault.straggler_probability = 0.4;
+  cfg.fault.straggler_slowdown = 10.0;
+  cfg.fault.speculative_execution = true;
+  cfg.fault.speculation_slack = 1.2;
+  cfg.fault.speculation_cap = 0.025;
+  MiniCluster h(6, {}, cfg);
+  JobRun& job = h.submit_job(40, 2);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  h.engine.start();
+  std::size_t max_active = 0;
+  std::function<void()> watch = [&] {
+    std::size_t active = 0;
+    for (std::size_t j = 0; j < job.map_count(); ++j) {
+      if (job.map_state(j).backup.active) ++active;
+    }
+    max_active = std::max(max_active, active);
+    if (!h.engine.all_jobs_complete()) h.sim.schedule_in(0.1, watch);
+  };
+  h.sim.schedule_at(0.1, watch);
+  h.sim.run(1e6);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  EXPECT_GT(h.engine.speculative_attempts(), 0u);  // the cap was exercised
+  EXPECT_LE(max_active, 1u);
+}
+
 TEST(FailureInjector, RandomFailuresStillComplete) {
   MiniCluster h(6);
   JobRun& job = h.submit_job(30, 6);
@@ -244,6 +307,63 @@ TEST(FailureInjector, DisabledByDefault) {
   h.sim.run(1e6);
   EXPECT_EQ(injector.failures_fired(), 0u);
   EXPECT_TRUE(h.engine.all_jobs_complete());
+}
+
+TEST(FailureInjector, ArmHorizonKeepsFiringThroughQuietGaps) {
+  // Regression: the injector used to disarm permanently the moment every
+  // job in the system had resolved — with an open-loop stream that means
+  // the first quiet gap, leaving the rest of the run failure-free. The
+  // arm_horizon keeps it armed over the whole arrival window.
+  auto fired_with_horizon = [](Seconds horizon) {
+    MiniCluster h(6);
+    h.submit_job(4, 1);  // finishes in a few seconds
+    sched::FifoScheduler fifo;
+    h.engine.set_scheduler(&fifo);
+    FailureInjectorConfig fcfg;
+    fcfg.cluster_mtbf = 20.0;
+    fcfg.repair_time = 10.0;
+    fcfg.arm_horizon = horizon;
+    FailureInjector injector(&h.sim, &h.engine, &h.clstr, fcfg, Rng(9));
+    h.engine.start();
+    injector.start();
+    h.sim.run(1e6);
+    EXPECT_TRUE(h.engine.all_jobs_complete());
+    return injector.failures_fired();
+  };
+  const std::size_t batch = fired_with_horizon(0.0);
+  const std::size_t streaming = fired_with_horizon(300.0);
+  // Armed across the ~300 s quiet tail, the injector keeps firing at
+  // mtbf 20 long after the only job completed.
+  EXPECT_GT(streaming, batch);
+  EXPECT_GE(streaming, 5u);
+}
+
+TEST(FailureInjector, RepairJitterIsDeterministicPerSeed) {
+  auto run_once = [](double jitter) {
+    MiniCluster h(5);
+    h.submit_job(60, 6);
+    sched::FifoScheduler fifo;
+    h.engine.set_scheduler(&fifo);
+    FailureInjectorConfig fcfg;
+    // Aggressive failures with quick repairs: recovered nodes rejoin while
+    // plenty of work remains, so the jittered repair times shift later
+    // assignments (and the extra jitter draw shifts later failure times).
+    fcfg.cluster_mtbf = 8.0;
+    fcfg.repair_time = 5.0;
+    fcfg.repair_jitter = jitter;
+    FailureInjector injector(&h.sim, &h.engine, &h.clstr, fcfg, Rng(4));
+    h.engine.start();
+    injector.start();
+    h.sim.run(1e6);
+    EXPECT_TRUE(h.engine.all_jobs_complete());
+    std::vector<double> t;
+    for (const auto& r : h.engine.task_records()) t.push_back(r.finished_at);
+    return t;
+  };
+  // Same seed + same jitter -> byte-identical schedule.
+  EXPECT_EQ(run_once(0.5), run_once(0.5));
+  // Jitter draws perturb the repair times, so the schedule moves.
+  EXPECT_NE(run_once(0.5), run_once(0.0));
 }
 
 TEST(FailureInjector, DeterministicWithFailures) {

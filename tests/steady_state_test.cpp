@@ -143,6 +143,57 @@ TEST(SteadyState, TruncatedRunSkipsUnfinishedJobs) {
   EXPECT_DOUBLE_EQ(s.mean_jobs_in_system, 1.0);
 }
 
+TEST(SteadyState, AbortedJobsExcludedFromGoodput) {
+  // Window [10, 110). Job 2 was aborted at t=60: it occupied the system
+  // until then but is neither a completion nor a response-time sample.
+  std::vector<JobRecord> jobs = {
+      job(1, 20.0, 50.0),
+      job(2, 30.0, 60.0),
+  };
+  jobs[1].aborted = true;
+  const auto s = steady_state_summary(jobs, {}, Window{10.0, 110.0}, 10, 5);
+  EXPECT_EQ(s.jobs_submitted, 2u);
+  EXPECT_EQ(s.jobs_completed, 1u);
+  EXPECT_EQ(s.jobs_aborted, 1u);
+  EXPECT_DOUBLE_EQ(s.throughput_jobs_per_hour, 1.0 / (100.0 / 3600.0));
+  EXPECT_EQ(s.response_time.count, 1u);
+  EXPECT_DOUBLE_EQ(s.response_time.mean, 30.0);
+  // In-system: job1 [20,50) = 30, job2 [30,60) = 30 -> L = 0.6.
+  EXPECT_DOUBLE_EQ(s.mean_jobs_in_system, 0.6);
+}
+
+TEST(SteadyState, AdmissionOutcomesCountRejectionsAndDeferrals) {
+  // Window [10, 110). Admitted jobs have records; the rejected arrival
+  // exists only in the controller's ledger, so jobs_submitted must pick it
+  // up from there, and the deferred-then-admitted one feeds the
+  // deferral-delay percentiles.
+  const std::vector<JobRecord> jobs = {
+      job(1, 20.0, 50.0),
+      job(2, 45.0, 100.0),  // the deferred arrival, admitted at 45
+  };
+  const std::vector<control::ArrivalOutcome> outcomes = {
+      // job 1: admitted on the spot.
+      {JobId(1), 20.0, 20.0, 0, true, true},
+      // job 2: arrived at 30, deferred once, admitted at 45.
+      {JobId(2), 30.0, 45.0, 1, true, true},
+      // job 3: arrived at 40, deferred out of its budget, rejected at 85.
+      {JobId(3), 40.0, 85.0, 3, true, false},
+      // job 4: arrived outside the window — not counted.
+      {JobId(4), 5.0, 5.0, 0, true, false},
+  };
+  const auto s = steady_state_summary(jobs, {}, Window{10.0, 110.0}, 10, 5,
+                                      outcomes);
+  // Submissions: jobs 1 and 2 from records + the recordless rejection.
+  EXPECT_EQ(s.jobs_submitted, 3u);
+  EXPECT_EQ(s.jobs_rejected, 1u);
+  EXPECT_EQ(s.jobs_deferred, 2u);  // jobs 2 and 3 each sat in the queue
+  EXPECT_DOUBLE_EQ(s.rejection_rate, 1.0 / 3.0);
+  // Deferral delays of resolved deferred arrivals: {15, 45}.
+  EXPECT_EQ(s.deferral_delay.count, 2u);
+  EXPECT_DOUBLE_EQ(s.deferral_delay.mean, 30.0);
+  EXPECT_DOUBLE_EQ(s.deferral_delay.max, 45.0);
+}
+
 TEST(SteadyState, EmptyWindowedRecords) {
   // Records entirely outside the window: zero counts, zero utilization.
   const std::vector<JobRecord> jobs = {job(1, 200.0, 250.0)};

@@ -54,6 +54,24 @@ print(f"telemetry smoke: {len(lines)} jsonl lines, "
 PY
 fi
 
+echo "==> admission smoke: overload sheds load, light load admits everything"
+# Past the saturation knee (900 jobs/h vs a ~600-650 knee on this
+# 12-node/5%-scale setup) the static-threshold policy must reject a
+# nonzero slice of the offered load; far below the knee it must be
+# invisible (zero rejections, zero deferrals).
+HI_OUT="$(./build/tools/pnats_sim --arrivals poisson --rate 900 \
+  --duration 600 --nodes 12 --job-scale 0.05 --warmup 100 --seed 42 \
+  --admission static-threshold --admission-threshold 12 \
+  --log-level warn --quiet)"
+echo "$HI_OUT" | grep -q 'policy=static-threshold'
+echo "$HI_OUT" | grep -Eq 'rejected=[1-9][0-9]* '
+LO_OUT="$(./build/tools/pnats_sim --arrivals poisson --rate 150 \
+  --duration 600 --nodes 12 --job-scale 0.05 --warmup 100 --seed 42 \
+  --admission static-threshold --admission-threshold 12 \
+  --log-level warn --quiet)"
+echo "$LO_OUT" | grep -q 'rejected=0 (0.0%) deferred=0'
+echo "admission smoke: threshold policy rejects past the knee only"
+
 echo "==> perf smoke: incremental scoring vs naive heartbeat path"
 ./build/bench/bench_micro_scheduler \
   --benchmark_filter='BM_PnaHeartbeatSaturated' \

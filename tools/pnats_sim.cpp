@@ -21,6 +21,26 @@
 //     --straggler-p X     per-attempt straggler probability (default 0)
 //     --speculation       enable speculative execution
 //     --mtbf SECONDS      cluster MTBF for failure injection (default off)
+//     --repair-jitter X   relative jitter on repair times, in [0, 1)
+//                         (default 0 = fixed 120 s repairs)
+//
+//   Overload control plane:
+//     --admission NAME    always-admit|static-threshold|token-bucket|
+//                         adaptive (default always-admit = no-op)
+//     --admission-threshold L   backlog limit (jobs in system) for
+//                         static-threshold / starting point for adaptive
+//                         (default 12)
+//     --admission-delay S defer when the queueing-delay EWMA exceeds S
+//                         (static-threshold; default off)
+//     --admission-rate X  token-bucket refill rate in jobs/hour
+//                         (default 600)
+//     --max-deferrals N   deferral budget before a hard reject (default 4)
+//     --max-attempts N    abort a job when a task loses N attempts to
+//                         node failures (default 0 = never)
+//     --blacklist         enable node blacklisting on repeated failures
+//     --blacklist-failures N  failures within the window that list a node
+//                         (default 2)
+//     --probation S       post-recovery unschedulable period (default 300)
 //     --out DIR           save records under DIR (result_io format)
 //     --trace FILE        write an execution trace CSV
 //     --telemetry-out F   write telemetry JSONL (sampled time-series +
@@ -67,6 +87,11 @@ using namespace mrs;
       "                 [--placement hdfs|random|skewed]\n"
       "                 [--distance hops|inverse-rate|weighted|load-aware]\n"
       "                 [--straggler-p X] [--speculation] [--mtbf SECONDS]\n"
+      "                 [--repair-jitter X] [--admission NAME]\n"
+      "                 [--admission-threshold L] [--admission-delay S]\n"
+      "                 [--admission-rate JOBS/H] [--max-deferrals N]\n"
+      "                 [--max-attempts N] [--blacklist]\n"
+      "                 [--blacklist-failures N] [--probation S]\n"
       "                 [--out DIR] [--trace FILE] [--telemetry-out FILE]\n"
       "                 [--perfetto-out FILE] [--sample-period S]\n"
       "                 [--log-level trace|debug|info|warn|off] [--quiet]\n"
@@ -75,6 +100,18 @@ using namespace mrs;
       "                 [--job-scale X]\n",
       code == 0 ? stdout : stderr);
   std::exit(code);
+}
+
+control::AdmissionPolicyKind parse_admission(const std::string& s) {
+  using control::AdmissionPolicyKind;
+  for (auto k : {AdmissionPolicyKind::kAlwaysAdmit,
+                 AdmissionPolicyKind::kStaticThreshold,
+                 AdmissionPolicyKind::kTokenBucket,
+                 AdmissionPolicyKind::kAdaptive}) {
+    if (s == control::to_string(k)) return k;
+  }
+  std::fprintf(stderr, "unknown admission policy '%s'\n", s.c_str());
+  usage(2);
 }
 
 driver::SchedulerKind parse_scheduler(const std::string& s) {
@@ -126,12 +163,16 @@ int main(int argc, char** argv) {
   std::string out_dir, trace_path, jobs_file;
   std::string arrivals_mode, arrival_trace;
   std::string telemetry_out, perfetto_out;
+  std::string admission = "always-admit";
   std::size_t nodes = 60, racks = 1, replication = 2;
+  std::size_t max_deferrals = 4, max_attempts = 0, blacklist_failures = 2;
   std::uint64_t seed = 42;
-  double pmin = 0.4, straggler_p = 0.0, mtbf = 0.0;
+  double pmin = 0.4, straggler_p = 0.0, mtbf = 0.0, repair_jitter = 0.0;
   double rate = 60.0, duration = 3600.0, warmup = -1.0, job_scale = 1.0;
   double sample_period = -1.0;
-  bool speculation = false, quiet = false;
+  double admission_threshold = 12.0, admission_delay = 0.0;
+  double admission_rate = 600.0, probation = 300.0;
+  bool speculation = false, quiet = false, blacklist = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -153,6 +194,20 @@ int main(int argc, char** argv) {
     else if (arg == "--straggler-p") straggler_p = std::stod(next());
     else if (arg == "--speculation") speculation = true;
     else if (arg == "--mtbf") mtbf = std::stod(next());
+    else if (arg == "--repair-jitter") repair_jitter = std::stod(next());
+    else if (arg == "--admission") admission = next();
+    else if (arg == "--admission-threshold") {
+      admission_threshold = std::stod(next());
+    }
+    else if (arg == "--admission-delay") admission_delay = std::stod(next());
+    else if (arg == "--admission-rate") admission_rate = std::stod(next());
+    else if (arg == "--max-deferrals") max_deferrals = std::stoul(next());
+    else if (arg == "--max-attempts") max_attempts = std::stoul(next());
+    else if (arg == "--blacklist") blacklist = true;
+    else if (arg == "--blacklist-failures") {
+      blacklist_failures = std::stoul(next());
+    }
+    else if (arg == "--probation") probation = std::stod(next());
     else if (arg == "--out") out_dir = next();
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--telemetry-out") telemetry_out = next();
@@ -183,6 +238,16 @@ int main(int argc, char** argv) {
   cfg.engine.fault.straggler_probability = straggler_p;
   cfg.engine.fault.speculative_execution = speculation;
   cfg.failures.cluster_mtbf = mtbf;
+  cfg.failures.repair_jitter = repair_jitter;
+  cfg.admission.policy = parse_admission(admission);
+  cfg.admission.max_jobs_in_system = admission_threshold;
+  cfg.admission.max_queueing_delay = admission_delay;
+  cfg.admission.bucket_rate_per_hour = admission_rate;
+  cfg.admission.deferral.max_deferrals = max_deferrals;
+  cfg.engine.max_task_attempts = max_attempts;
+  cfg.engine.blacklist.enabled = blacklist;
+  cfg.engine.blacklist.failure_threshold = blacklist_failures;
+  cfg.engine.blacklist.probation = probation;
   cfg.trace_path = trace_path;
   cfg.telemetry_path = telemetry_out;
   cfg.perfetto_path = perfetto_out;
@@ -290,6 +355,14 @@ int main(int argc, char** argv) {
                 "reduce-util=%.1f%%\n",
                 ss.mean_jobs_in_system, 100.0 * ss.map_slot_utilization,
                 100.0 * ss.reduce_slot_utilization);
+    std::printf("  control   policy=%s rejected=%zu (%.1f%%) deferred=%zu "
+                "aborted=%zu | deferral p50=%.1fs p99=%.1fs\n",
+                stream.run.admission_policy.empty()
+                    ? "none"
+                    : stream.run.admission_policy.c_str(),
+                ss.jobs_rejected, 100.0 * ss.rejection_rate,
+                ss.jobs_deferred, ss.jobs_aborted, ss.deferral_delay.p50,
+                ss.deferral_delay.p99);
     if (!out_dir.empty()) {
       driver::save_result(out_dir, "stream", stream.run);
       std::printf("records saved under %s/stream_*.csv\n", out_dir.c_str());
