@@ -45,6 +45,7 @@ struct BlockTag {};   ///< DFS data block
 struct JobTag {};     ///< MapReduce job
 struct TaskTag {};    ///< MapReduce task (map or reduce), global space
 struct FlowTag {};    ///< network flow
+struct TenantTag {};  ///< workload tenant (multi-tenant fairness)
 
 using NodeId = Id<NodeTag>;
 using SwitchId = Id<SwitchTag>;
@@ -54,6 +55,7 @@ using BlockId = Id<BlockTag>;
 using JobId = Id<JobTag>;
 using TaskId = Id<TaskTag>;
 using FlowId = Id<FlowTag>;
+using TenantId = Id<TenantTag>;
 
 }  // namespace mrs
 

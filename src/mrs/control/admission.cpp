@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "mrs/common/strfmt.hpp"
+
 namespace mrs::control {
 
 namespace {
@@ -140,14 +142,23 @@ std::unique_ptr<AdmissionPolicy> make_policy(const AdmissionConfig& cfg) {
 }
 
 AdmissionController::AdmissionController(AdmissionConfig cfg)
-    : cfg_(cfg), policy_(make_policy(cfg)) {
+    : cfg_(std::move(cfg)), policy_(make_policy(cfg_)) {
   MRS_REQUIRE(cfg_.deferral.initial_backoff > 0.0);
   MRS_REQUIRE(cfg_.deferral.backoff_multiplier >= 1.0);
   MRS_REQUIRE(cfg_.deferral.max_backoff >= cfg_.deferral.initial_backoff);
   MRS_REQUIRE(cfg_.delay_ewma_alpha > 0.0 && cfg_.delay_ewma_alpha <= 1.0);
+  if (!cfg_.tenant_quota_weights.empty()) {
+    MRS_REQUIRE(cfg_.max_jobs_in_system > 0.0);
+    for (const double w : cfg_.tenant_quota_weights) {
+      MRS_REQUIRE(w > 0.0);
+      quota_weight_sum_ += w;
+    }
+  }
 }
 
 void AdmissionController::set_telemetry(telemetry::Registry* registry) {
+  registry_ = registry;
+  tenant_counters_.clear();
   if (registry == nullptr) {
     admitted_counter_ = deferred_counter_ = rejected_counter_ = nullptr;
     limit_gauge_ = nullptr;
@@ -158,6 +169,40 @@ void AdmissionController::set_telemetry(telemetry::Registry* registry) {
   rejected_counter_ = &registry->counter("control.jobs.rejected");
   limit_gauge_ = &registry->gauge("control.backlog_limit");
   if (limit_gauge_ != nullptr) limit_gauge_->set(policy_->backlog_limit());
+}
+
+double AdmissionController::tenant_quota_limit(TenantId tenant) const {
+  if (cfg_.tenant_quota_weights.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Tenants outside the configured weight table share as if weight 1 —
+  // quotas stay well-defined when a trace names more tenants than the
+  // config anticipated.
+  const double w = tenant.value() < cfg_.tenant_quota_weights.size()
+                       ? cfg_.tenant_quota_weights[tenant.value()]
+                       : 1.0;
+  return cfg_.max_jobs_in_system * w / std::max(quota_weight_sum_, w);
+}
+
+void AdmissionController::count_tenant_outcome(TenantId tenant,
+                                               AdmissionAction action) {
+  if (registry_ == nullptr) return;
+  auto [it, inserted] = tenant_counters_.emplace(tenant.value(),
+                                                TenantCounters{});
+  if (inserted) {
+    const std::size_t t = tenant.value();
+    it->second.admitted =
+        &registry_->counter(strf("control.tenant.%zu.admitted", t));
+    it->second.deferred =
+        &registry_->counter(strf("control.tenant.%zu.deferred", t));
+    it->second.rejected =
+        &registry_->counter(strf("control.tenant.%zu.rejected", t));
+  }
+  switch (action) {
+    case AdmissionAction::kAdmit: telemetry::inc(it->second.admitted); break;
+    case AdmissionAction::kDefer: telemetry::inc(it->second.deferred); break;
+    case AdmissionAction::kReject: telemetry::inc(it->second.rejected); break;
+  }
 }
 
 Seconds AdmissionController::backoff_for(std::size_t deferrals_so_far) const {
@@ -180,7 +225,8 @@ AdmissionDecision AdmissionController::on_arrival(JobId job,
   if (outcome_index_[job.value()] == kNoOutcome) {
     MRS_REQUIRE(attempt == 0);
     outcome_index_[job.value()] = outcomes_.size();
-    outcomes_.push_back({job, arrival_time, arrival_time, 0, false, false});
+    outcomes_.push_back(
+        {job, obs.tenant, arrival_time, arrival_time, 0, false, false});
   }
   ArrivalOutcome& outcome = outcomes_[outcome_index_[job.value()]];
   MRS_REQUIRE(!outcome.resolved);
@@ -191,6 +237,15 @@ AdmissionDecision AdmissionController::on_arrival(JobId job,
 
   obs.queueing_delay_ewma = delay_ewma_;
   AdmissionAction action = policy_->decide(obs);
+  // Quota gate: an arrival whose tenant already holds its weighted share
+  // of the backlog budget is deferred even when the policy would admit —
+  // the deferral budget below still turns a persistent overage into a
+  // hard reject. A no-op when tenant_quota_weights is empty (limit +inf).
+  if (action == AdmissionAction::kAdmit &&
+      static_cast<double>(obs.tenant_jobs_in_system) >=
+          tenant_quota_limit(obs.tenant)) {
+    action = AdmissionAction::kDefer;
+  }
   AdmissionDecision decision;
   if (action == AdmissionAction::kDefer &&
       outcome.deferrals >= cfg_.deferral.max_deferrals) {
@@ -220,6 +275,7 @@ AdmissionDecision AdmissionController::on_arrival(JobId job,
       telemetry::inc(rejected_counter_);
       break;
   }
+  count_tenant_outcome(obs.tenant, action);
   if (limit_gauge_ != nullptr) limit_gauge_->set(policy_->backlog_limit());
   return decision;
 }

@@ -19,6 +19,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "mrs/common/check.hpp"
@@ -56,8 +57,12 @@ enum class AdmissionPolicyKind {
 /// beyond the active-job list.
 struct AdmissionObservables {
   Seconds now = 0.0;
+  /// Tenant of the arriving job (0 in single-tenant runs).
+  TenantId tenant = TenantId(0);
   /// Admitted, unfinished jobs (the backlog L an arrival would join).
   std::size_t jobs_in_system = 0;
+  /// Admitted, unfinished jobs belonging to `tenant` (quota gate input).
+  std::size_t tenant_jobs_in_system = 0;
   /// Unassigned map + reduce tasks across the active jobs.
   std::size_t tasks_queued = 0;
   double map_slot_utilization = 0.0;
@@ -106,6 +111,16 @@ struct AdmissionConfig {
   /// adaptive policies read.
   double delay_ewma_alpha = 0.2;
 
+  // --- per-tenant quotas ---
+  /// When non-empty (index = tenant id, every weight > 0), tenant t may
+  /// hold at most its weighted share of the backlog budget:
+  ///   limit_t = max_jobs_in_system * weight_t / sum(weights).
+  /// An arrival whose tenant is at its limit is deferred regardless of the
+  /// policy's verdict (and hard-rejected once its deferral budget runs
+  /// out), so one tenant's overload cannot evict another tenant's share.
+  /// Empty = quotas off (the byte-identity no-op path).
+  std::vector<double> tenant_quota_weights;
+
   DeferralConfig deferral;
 };
 
@@ -143,6 +158,7 @@ struct AdmissionDecision {
 /// deferral queue when a run is truncated.
 struct ArrivalOutcome {
   JobId job;
+  TenantId tenant = TenantId(0);  ///< owning tenant of the arrival
   Seconds arrival_time = 0.0;  ///< original submit time
   Seconds decided_time = 0.0;  ///< admit / final-reject time (last retry)
   std::size_t deferrals = 0;   ///< defer decisions taken for this arrival
@@ -191,8 +207,13 @@ class AdmissionController {
     return outcomes_;
   }
 
+  /// Backlog limit the quota grants `tenant` (max_jobs_in_system scaled by
+  /// its weight share); +inf when quotas are off.
+  [[nodiscard]] double tenant_quota_limit(TenantId tenant) const;
+
  private:
   [[nodiscard]] Seconds backoff_for(std::size_t deferrals_so_far) const;
+  void count_tenant_outcome(TenantId tenant, AdmissionAction action);
 
   AdmissionConfig cfg_;
   std::unique_ptr<AdmissionPolicy> policy_;
@@ -205,10 +226,21 @@ class AdmissionController {
   std::size_t rejected_ = 0;
   std::size_t deferred_ = 0;
 
+  double quota_weight_sum_ = 0.0;  ///< cached sum of tenant_quota_weights
+
+  telemetry::Registry* registry_ = nullptr;
   telemetry::Counter* admitted_counter_ = nullptr;
   telemetry::Counter* deferred_counter_ = nullptr;
   telemetry::Counter* rejected_counter_ = nullptr;
   telemetry::Gauge* limit_gauge_ = nullptr;
+  /// Per-tenant control.tenant.<id>.{admitted,deferred,rejected} counters,
+  /// created lazily as tenants appear in the arrival stream.
+  struct TenantCounters {
+    telemetry::Counter* admitted = nullptr;
+    telemetry::Counter* deferred = nullptr;
+    telemetry::Counter* rejected = nullptr;
+  };
+  std::unordered_map<std::size_t, TenantCounters> tenant_counters_;
 };
 
 }  // namespace mrs::control

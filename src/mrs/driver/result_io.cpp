@@ -69,13 +69,14 @@ void save_result(const std::string& directory, const std::string& stem,
   {
     CsvWriter jobs(base + "_jobs.csv",
                    {"id", "name", "kind", "maps", "reduces", "input_bytes",
-                    "shuffle_bytes", "submit", "finish", "aborted"});
+                    "shuffle_bytes", "submit", "finish", "aborted",
+                    "tenant"});
     for (const auto& j : result.job_records) {
       jobs.row({strf("%zu", j.id.value()), j.name, kind_code(j.kind),
                 strf("%zu", j.map_count), strf("%zu", j.reduce_count),
                 strf("%.17g", j.input_bytes), strf("%.17g", j.shuffle_bytes),
                 strf("%.17g", j.submit_time), strf("%.17g", j.finish_time),
-                j.aborted ? "1" : "0"});
+                j.aborted ? "1" : "0", strf("%zu", j.tenant.value())});
     }
   }
   {
@@ -125,8 +126,9 @@ std::optional<ExperimentResult> load_result(const std::string& directory,
   if (!jobs_csv.row(f)) return std::nullopt;  // header
   while (jobs_csv.row(f)) {
     if (blank_record(f)) continue;
-    // 9 columns = pre-abort cache files (implicitly aborted = 0).
-    if (f.size() != 9 && f.size() != 10) return std::nullopt;
+    // 9 columns = pre-abort cache files (implicitly aborted = 0);
+    // 10 = pre-tenant files (implicitly tenant 0).
+    if (f.size() < 9 || f.size() > 11) return std::nullopt;
     mapreduce::JobRecord j;
     j.id = JobId(std::stoul(f[0]));
     j.name = f[1];
@@ -139,7 +141,8 @@ std::optional<ExperimentResult> load_result(const std::string& directory,
     j.shuffle_bytes = std::stod(f[6]);
     j.submit_time = std::stod(f[7]);
     j.finish_time = std::stod(f[8]);
-    j.aborted = f.size() == 10 && f[9] == "1";
+    j.aborted = f.size() >= 10 && f[9] == "1";
+    if (f.size() >= 11) j.tenant = TenantId(std::stoul(f[10]));
     result.job_records.push_back(std::move(j));
     result.makespan = std::max(result.makespan,
                                result.job_records.back().finish_time);

@@ -74,6 +74,9 @@ void Engine::set_telemetry(telemetry::Registry* registry) {
 
 JobRun& Engine::submit(JobSpec spec, Rng rng) {
   MRS_REQUIRE(!started_);
+  // A non-positive weight would make the kWeightedFair deficit inf/NaN and
+  // the comparator an invalid strict weak ordering (UB in stable_sort).
+  MRS_REQUIRE(spec.weight > 0.0);
   spec.id = JobId(jobs_.size());
   for (const auto& m : spec.map_tasks) {
     MRS_REQUIRE(m.block.value() < blocks_->block_count());
@@ -141,10 +144,12 @@ void Engine::try_admit(JobRun& job, std::size_t attempt) {
   }
   control::AdmissionObservables obs;
   obs.now = now();
+  obs.tenant = job.spec().tenant;
   obs.jobs_in_system = active_jobs_.size();
   for (const JobRun* active : active_jobs_) {
     obs.tasks_queued +=
         active->maps_unassigned() + active->reduces_unassigned();
+    if (active->spec().tenant == obs.tenant) ++obs.tenant_jobs_in_system;
   }
   obs.map_slot_utilization =
       cluster_->total_map_slots() > 0
@@ -213,6 +218,7 @@ void Engine::abort_job(JobRun& job) {
   rec.id = job.id();
   rec.name = job.spec().name;
   rec.kind = job.spec().kind;
+  rec.tenant = job.spec().tenant;
   rec.map_count = job.map_count();
   rec.reduce_count = job.reduce_count();
   rec.input_bytes = job.spec().total_input();
@@ -227,6 +233,7 @@ void Engine::abort_job(JobRun& job) {
   active_jobs_.erase(
       std::remove(active_jobs_.begin(), active_jobs_.end(), &job),
       active_jobs_.end());
+  if (scheduler_ != nullptr) scheduler_->on_job_finished(*this, job.id());
   ++jobs_aborted_;
   telemetry::inc(metrics_.jobs_aborted);
   log_info("t=%.1f job %s aborted (task attempt cap)", now(),
@@ -988,6 +995,7 @@ std::vector<JobRecord> Engine::unfinished_job_records() const {
     rec.id = job.id();
     rec.name = job.spec().name;
     rec.kind = job.spec().kind;
+    rec.tenant = job.spec().tenant;
     rec.map_count = job.map_count();
     rec.reduce_count = job.reduce_count();
     rec.input_bytes = job.spec().total_input();
@@ -1010,6 +1018,7 @@ void Engine::check_job_complete(JobRun& job) {
   rec.id = job.id();
   rec.name = job.spec().name;
   rec.kind = job.spec().kind;
+  rec.tenant = job.spec().tenant;
   rec.map_count = job.map_count();
   rec.reduce_count = job.reduce_count();
   rec.input_bytes = job.spec().total_input();
@@ -1023,6 +1032,7 @@ void Engine::check_job_complete(JobRun& job) {
   active_jobs_.erase(
       std::remove(active_jobs_.begin(), active_jobs_.end(), &job),
       active_jobs_.end());
+  if (scheduler_ != nullptr) scheduler_->on_job_finished(*this, job.id());
   ++jobs_completed_;
   telemetry::inc(metrics_.jobs_finished);
   trace(sim::TraceEventKind::kJobFinished, job.spec().name,

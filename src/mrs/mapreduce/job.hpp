@@ -62,7 +62,10 @@ struct JobSpec {
   Seconds submit_time = 0.0;
   /// Job-level scheduling weight (Fair Scheduler pools give heavier jobs a
   /// larger share; 1.0 = equal share). Used by JobOrder::kWeightedFair.
+  /// Must be > 0: the engine rejects non-positive weights at submit.
   double weight = 1.0;
+  /// Owning tenant (multi-tenant streams; single-tenant runs use tenant 0).
+  TenantId tenant = TenantId(0);
 
   [[nodiscard]] std::size_t map_count() const { return map_tasks.size(); }
   [[nodiscard]] Bytes total_input() const {

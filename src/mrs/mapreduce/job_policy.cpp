@@ -18,11 +18,14 @@ std::vector<JobRun*> jobs_for_maps(const Engine& engine, JobOrder order) {
                      });
   } else if (order == JobOrder::kWeightedFair) {
     // Smallest deficit (running / weight) first: a weight-2 job deserves
-    // twice the concurrent tasks of a weight-1 job.
+    // twice the concurrent tasks of a weight-1 job. Cross-multiplied so no
+    // division by the weight is needed — a zero/negative weight (rejected
+    // at submit, but hostile specs exist) would otherwise yield inf/NaN
+    // deficits and an invalid strict weak ordering (UB in stable_sort).
     std::stable_sort(jobs.begin(), jobs.end(),
                      [](const JobRun* a, const JobRun* b) {
-                       return double(a->maps_running()) / a->spec().weight <
-                              double(b->maps_running()) / b->spec().weight;
+                       return double(a->maps_running()) * b->spec().weight <
+                              double(b->maps_running()) * a->spec().weight;
                      });
   }
   return jobs;
@@ -43,8 +46,8 @@ std::vector<JobRun*> jobs_for_reduces(const Engine& engine, JobOrder order) {
   } else if (order == JobOrder::kWeightedFair) {
     std::stable_sort(
         jobs.begin(), jobs.end(), [](const JobRun* a, const JobRun* b) {
-          return double(a->reduces_running()) / a->spec().weight <
-                 double(b->reduces_running()) / b->spec().weight;
+          return double(a->reduces_running()) * b->spec().weight <
+                 double(b->reduces_running()) * a->spec().weight;
         });
   }
   return jobs;

@@ -37,6 +37,7 @@ struct JobRecord {
   JobId id;
   std::string name;
   JobKind kind = JobKind::kCustom;
+  TenantId tenant = TenantId(0);  ///< owning tenant (0 = single-tenant)
   std::size_t map_count = 0;
   std::size_t reduce_count = 0;
   Bytes input_bytes = 0.0;

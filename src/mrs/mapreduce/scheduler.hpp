@@ -27,6 +27,15 @@ class TaskScheduler {
   /// reduce slots. Called only while at least one job is active.
   virtual void on_heartbeat(Engine& engine, NodeId node) = 0;
 
+  /// `job` left the active set (completed or aborted). Schedulers that
+  /// keep per-job state (delay-scheduling levels, caches) evict it here so
+  /// open-loop streams don't accumulate one entry per job forever. The
+  /// default is a no-op, so stateless schedulers need no changes.
+  virtual void on_job_finished(Engine& engine, JobId job) {
+    (void)engine;
+    (void)job;
+  }
+
   /// Optional: register scheduler metrics with `registry` (must outlive
   /// the run). Instrumented schedulers cache metric pointers here; the
   /// default is a no-op, so plain schedulers need no changes.

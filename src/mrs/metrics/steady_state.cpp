@@ -1,6 +1,7 @@
 #include "mrs/metrics/steady_state.hpp"
 
 #include <algorithm>
+#include <map>
 #include <unordered_map>
 
 #include "mrs/common/check.hpp"
@@ -14,6 +15,20 @@ namespace {
 Seconds overlap(Seconds a, Seconds b, const Window& w) {
   return std::max(0.0, std::min(b, w.end) - std::max(a, w.begin));
 }
+
+/// Per-tenant accumulator mirroring the aggregate pass; keyed by tenant id
+/// in an ordered map so the emitted slices are sorted.
+struct TenantAccumulator {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t unfinished = 0;
+  std::size_t rejected = 0;
+  std::size_t aborted = 0;
+  std::size_t deferred = 0;
+  std::vector<double> response;
+  std::vector<double> delay;
+  double in_system_integral = 0.0;
+};
 
 }  // namespace
 
@@ -51,33 +66,46 @@ SteadyStateSummary steady_state_summary(
   }
 
   std::vector<double> response, delay;
+  std::map<std::size_t, TenantAccumulator> per_tenant;
   double in_system_integral = 0.0;
   double offered_bytes = 0.0;
   for (const auto& j : jobs) {
+    TenantAccumulator& tacc = per_tenant[j.tenant.value()];
     // finish_time < submit_time is the truncation sentinel: the job never
     // finished, so it occupies the system through the end of the window
     // and has no response time (pushing its negative completion_time()
     // would corrupt every percentile).
     const bool finished = j.finish_time >= j.submit_time;
-    in_system_integral +=
+    const Seconds occupancy =
         overlap(j.submit_time, finished ? j.finish_time : window.end, window);
+    in_system_integral += occupancy;
+    tacc.in_system_integral += occupancy;
     // Aborted jobs end at their abort time (they occupy the system until
     // then) but are not goodput and have no meaningful response time.
     if (finished && !j.aborted && window.contains(j.finish_time)) {
       ++out.jobs_completed;
+      ++tacc.completed;
     }
-    if (j.aborted && window.contains(j.finish_time)) ++out.jobs_aborted;
+    if (j.aborted && window.contains(j.finish_time)) {
+      ++out.jobs_aborted;
+      ++tacc.aborted;
+    }
     if (!window.contains(j.submit_time)) continue;
     ++out.jobs_submitted;
+    ++tacc.submitted;
     offered_bytes += j.input_bytes;
     if (finished && !j.aborted) {
       response.push_back(j.completion_time());
+      tacc.response.push_back(j.completion_time());
     } else if (!finished) {
       ++out.jobs_unfinished;
+      ++tacc.unfinished;
     }
     if (auto it = first_assignment.find(j.id.value());
         it != first_assignment.end()) {
-      delay.push_back(std::max(0.0, it->second - j.submit_time));
+      const double d = std::max(0.0, it->second - j.submit_time);
+      delay.push_back(d);
+      tacc.delay.push_back(d);
     }
   }
 
@@ -87,12 +115,16 @@ SteadyStateSummary steady_state_summary(
   std::vector<double> deferral;
   for (const auto& o : outcomes) {
     if (!window.contains(o.arrival_time)) continue;
+    TenantAccumulator& tacc = per_tenant[o.tenant.value()];
     if (o.resolved && !o.admitted) {
       ++out.jobs_rejected;
       ++out.jobs_submitted;
+      ++tacc.rejected;
+      ++tacc.submitted;
     }
     if (o.deferrals > 0) {
       ++out.jobs_deferred;
+      ++tacc.deferred;
       if (o.resolved) deferral.push_back(o.decided_time - o.arrival_time);
     }
   }
@@ -108,6 +140,28 @@ SteadyStateSummary steady_state_summary(
   out.response_time = summarize_percentiles(response);
   out.queueing_delay = summarize_percentiles(delay);
   out.mean_jobs_in_system = in_system_integral / len;
+
+  out.tenants.reserve(per_tenant.size());
+  for (const auto& [id, tacc] : per_tenant) {
+    TenantSummary t;
+    t.tenant = TenantId(id);
+    t.jobs_submitted = tacc.submitted;
+    t.jobs_completed = tacc.completed;
+    t.jobs_unfinished = tacc.unfinished;
+    t.jobs_rejected = tacc.rejected;
+    t.jobs_aborted = tacc.aborted;
+    t.jobs_deferred = tacc.deferred;
+    t.offered_jobs_per_hour = static_cast<double>(tacc.submitted) / hours;
+    t.throughput_jobs_per_hour = static_cast<double>(tacc.completed) / hours;
+    if (tacc.submitted > 0) {
+      t.rejection_rate = static_cast<double>(tacc.rejected) /
+                         static_cast<double>(tacc.submitted);
+    }
+    t.response_time = summarize_percentiles(tacc.response);
+    t.queueing_delay = summarize_percentiles(tacc.delay);
+    t.mean_jobs_in_system = tacc.in_system_integral / len;
+    out.tenants.push_back(std::move(t));
+  }
 
   double map_busy = 0.0, reduce_busy = 0.0;
   for (const auto& t : tasks) {

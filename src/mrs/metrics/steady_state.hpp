@@ -40,6 +40,31 @@ struct PercentileSummary {
 [[nodiscard]] PercentileSummary summarize_percentiles(
     std::span<const double> sample);
 
+/// Per-tenant slice of the steady-state summary. Counts partition the
+/// aggregate exactly (every job/arrival belongs to one tenant), so slices
+/// sum to the aggregate for submitted/completed/rejected/deferred/
+/// unfinished/aborted and the occupancy integral; the latency percentiles
+/// are computed over the tenant's own samples.
+struct TenantSummary {
+  TenantId tenant = TenantId(0);
+
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_completed = 0;
+  std::size_t jobs_unfinished = 0;
+  std::size_t jobs_rejected = 0;
+  std::size_t jobs_aborted = 0;
+  std::size_t jobs_deferred = 0;
+  double offered_jobs_per_hour = 0.0;
+  double throughput_jobs_per_hour = 0.0;  ///< goodput
+  double rejection_rate = 0.0;
+
+  PercentileSummary response_time;
+  PercentileSummary queueing_delay;
+
+  /// Tenant's share of Little's L (time-average in-system jobs).
+  double mean_jobs_in_system = 0.0;
+};
+
 struct SteadyStateSummary {
   Window window;
 
@@ -75,6 +100,18 @@ struct SteadyStateSummary {
   double mean_jobs_in_system = 0.0;
   double map_slot_utilization = 0.0;
   double reduce_slot_utilization = 0.0;
+
+  /// Per-tenant slices, sorted by tenant id (one entry per tenant seen in
+  /// the records/ledger; single-tenant runs get one slice for tenant 0).
+  std::vector<TenantSummary> tenants;
+
+  /// The slice for `tenant`, or nullptr when it never appeared.
+  [[nodiscard]] const TenantSummary* tenant(TenantId id) const {
+    for (const auto& t : tenants) {
+      if (t.tenant == id) return &t;
+    }
+    return nullptr;
+  }
 };
 
 /// Aggregate engine records over `window`. Queueing delay joins task

@@ -1,11 +1,10 @@
 #include "mrs/sched/fair.hpp"
 
-#include "mrs/mapreduce/job_policy.hpp"
+#include "mrs/common/strfmt.hpp"
 
 namespace mrs::sched {
 
 using mapreduce::Engine;
-using mapreduce::JobOrder;
 using mapreduce::jobs_for_maps;
 using mapreduce::jobs_for_reduces;
 using mapreduce::JobRun;
@@ -22,9 +21,49 @@ void FairScheduler::on_heartbeat(Engine& engine, NodeId node) {
   }
 }
 
+void FairScheduler::on_job_finished(Engine& /*engine*/, JobId job) {
+  if (delay_.erase(job.value()) > 0) telemetry::inc(evictions_);
+}
+
+void FairScheduler::set_telemetry(telemetry::Registry* registry) {
+  registry_ = registry;
+  tenant_maps_.clear();
+  tenant_reduces_.clear();
+  if (registry == nullptr) {
+    evictions_ = escalations_ = nullptr;
+    return;
+  }
+  evictions_ = &registry->counter("fair.delay.evictions");
+  escalations_ = &registry->counter("fair.delay.escalations");
+}
+
+void FairScheduler::note_skip(DelayState& ds, Seconds now,
+                              const FairConfig& cfg) {
+  if (ds.wait_start < 0.0) ds.wait_start = now;
+  while (ds.level < 2) {
+    const Seconds threshold =
+        ds.level == 0 ? cfg.node_local_delay : cfg.rack_local_delay;
+    if (now - ds.wait_start < threshold) break;
+    ++ds.level;
+    ds.wait_start += threshold;  // credit leftover wait to the next level
+  }
+}
+
+void FairScheduler::count_tenant_assignment(TenantId tenant, bool is_map) {
+  if (registry_ == nullptr) return;
+  auto& cache = is_map ? tenant_maps_ : tenant_reduces_;
+  auto [it, inserted] = cache.emplace(tenant.value(), nullptr);
+  if (inserted) {
+    it->second = &registry_->counter(strf("fair.tenant.%zu.%s",
+                                          tenant.value(),
+                                          is_map ? "maps" : "reduces"));
+  }
+  telemetry::inc(it->second);
+}
+
 bool FairScheduler::try_map(Engine& engine, NodeId node) {
   const Seconds now = engine.now();
-  for (JobRun* job : jobs_for_maps(engine, JobOrder::kFair)) {
+  for (JobRun* job : jobs_for_maps(engine, cfg_.job_order)) {
     DelayState& ds = delay_[job->id().value()];
 
     // Best locality rank this node can offer the job.
@@ -42,6 +81,7 @@ bool FairScheduler::try_map(Engine& engine, NodeId node) {
 
     if (best_rank <= ds.level) {
       engine.assign_map(*job, best_task, node);
+      count_tenant_assignment(job->spec().tenant, /*is_map=*/true);
       if (best_rank == 0) {
         // Launching locally resets the job's delay state (Delay
         // Scheduling's "reset wait when a local task launches").
@@ -52,23 +92,20 @@ bool FairScheduler::try_map(Engine& engine, NodeId node) {
     }
 
     // Skip: the node can't serve the job at its current locality level.
-    if (ds.wait_start < 0.0) ds.wait_start = now;
-    const Seconds threshold =
-        ds.level == 0 ? cfg_.node_local_delay : cfg_.rack_local_delay;
-    if (ds.level < 2 && now - ds.wait_start >= threshold) {
-      ++ds.level;
-      ds.wait_start = now;
-    }
+    const int before = ds.level;
+    note_skip(ds, now, cfg_);
+    for (int l = before; l < ds.level; ++l) telemetry::inc(escalations_);
   }
   return false;
 }
 
 bool FairScheduler::try_reduce(Engine& engine, NodeId node) {
-  for (JobRun* job : jobs_for_reduces(engine, JobOrder::kFair)) {
+  for (JobRun* job : jobs_for_reduces(engine, cfg_.job_order)) {
     const auto unassigned = job->unassigned_reduces();
     if (unassigned.empty()) continue;
     const std::size_t pick = unassigned[rng_.index(unassigned.size())];
     engine.assign_reduce(*job, pick, node);
+    count_tenant_assignment(job->spec().tenant, /*is_map=*/false);
     return true;
   }
   return false;

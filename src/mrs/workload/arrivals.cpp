@@ -18,7 +18,8 @@ bool operator==(const Arrival& a, const Arrival& b) {
          a.job.name == b.job.name && a.job.kind == b.job.kind &&
          a.job.nominal_gb == b.job.nominal_gb &&
          a.job.map_count == b.job.map_count &&
-         a.job.reduce_count == b.job.reduce_count;
+         a.job.reduce_count == b.job.reduce_count &&
+         a.job.weight == b.job.weight && a.job.tenant == b.job.tenant;
 }
 
 namespace {
@@ -79,26 +80,65 @@ std::vector<Seconds> poisson_times(double rate_per_hour, Seconds duration,
 /// 2-state MMPP arrival times on [0, duration). Within a state arrivals
 /// are Poisson at the state rate; the memoryless property lets us redraw
 /// the inter-arrival gap after each state switch.
-std::vector<Seconds> mmpp_times(const ArrivalConfig& cfg, Rng& rng) {
+std::vector<Seconds> mmpp_times(double rate_per_hour, const MmppConfig& mmpp,
+                                Seconds duration, Rng& rng) {
   std::vector<Seconds> times;
   bool burst = false;
   Seconds t = 0.0;
-  Seconds next_switch = rng.exponential(cfg.mmpp.mean_calm_sojourn);
-  while (t < cfg.duration) {
+  Seconds next_switch = rng.exponential(mmpp.mean_calm_sojourn);
+  while (t < duration) {
     const double rate =
-        cfg.rate_per_hour * (burst ? cfg.mmpp.burst_rate_multiplier : 1.0);
+        rate_per_hour * (burst ? mmpp.burst_rate_multiplier : 1.0);
     const Seconds gap = rng.exponential(3600.0 / rate);
     if (t + gap < next_switch) {
       t += gap;
-      if (t < cfg.duration) times.push_back(t);
+      if (t < duration) times.push_back(t);
     } else {
       t = next_switch;
       burst = !burst;
-      next_switch = t + rng.exponential(burst ? cfg.mmpp.mean_burst_sojourn
-                                              : cfg.mmpp.mean_calm_sojourn);
+      next_switch = t + rng.exponential(burst ? mmpp.mean_burst_sojourn
+                                              : mmpp.mean_calm_sojourn);
     }
   }
   return times;
+}
+
+/// Merged multi-tenant stream: each tenant draws times and jobs from its
+/// own RNG children, then the sub-streams interleave by time (stable, so
+/// simultaneous arrivals order by tenant index).
+std::vector<Arrival> generate_tenant_arrivals(const ArrivalConfig& cfg,
+                                              const Rng& rng) {
+  std::vector<Arrival> arrivals;
+  for (std::size_t i = 0; i < cfg.tenants.size(); ++i) {
+    const TenantConfig& t = cfg.tenants[i];
+    MRS_REQUIRE(t.process != ArrivalProcess::kTrace);
+    MRS_REQUIRE(t.rate_per_hour > 0.0);
+    MRS_REQUIRE(t.weight > 0.0);
+    Rng time_rng = rng.split(strf("tenant%zu-times", i));
+    Rng mix_rng = rng.split(strf("tenant%zu-mix", i));
+    const std::vector<Seconds> times =
+        t.process == ArrivalProcess::kPoisson
+            ? poisson_times(t.rate_per_hour, cfg.duration, time_rng)
+            : mmpp_times(t.rate_per_hour, t.mmpp, cfg.duration, time_rng);
+    for (const Seconds time : times) {
+      Arrival a;
+      a.time = time;
+      a.job = draw_job(t.mix, mix_rng);
+      a.job.tenant = TenantId(i);
+      a.job.weight = t.weight;
+      a.job.name += strf("@t%zu", i);
+      arrivals.push_back(std::move(a));
+    }
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     return a.time < b.time;
+                   });
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    arrivals[i].job.job_id = strf("%zu", i + 1);
+    arrivals[i].job.name += strf("#%04zu", i + 1);
+  }
+  return arrivals;
 }
 
 }  // namespace
@@ -106,6 +146,7 @@ std::vector<Seconds> mmpp_times(const ArrivalConfig& cfg, Rng& rng) {
 std::vector<Arrival> generate_arrivals(const ArrivalConfig& cfg,
                                        const Rng& rng) {
   MRS_REQUIRE(cfg.duration > 0.0);
+  if (!cfg.tenants.empty()) return generate_tenant_arrivals(cfg, rng);
   if (cfg.process == ArrivalProcess::kTrace) {
     std::vector<Arrival> arrivals = load_arrival_trace(cfg.trace_path);
     std::erase_if(arrivals,
@@ -121,7 +162,7 @@ std::vector<Arrival> generate_arrivals(const ArrivalConfig& cfg,
   const std::vector<Seconds> times =
       cfg.process == ArrivalProcess::kPoisson
           ? poisson_times(cfg.rate_per_hour, cfg.duration, time_rng)
-          : mmpp_times(cfg, time_rng);
+          : mmpp_times(cfg.rate_per_hour, cfg.mmpp, cfg.duration, time_rng);
 
   std::vector<Arrival> arrivals;
   arrivals.reserve(times.size());
@@ -157,10 +198,10 @@ std::vector<Arrival> load_arrival_trace(const std::string& path) {
     std::string field;
     std::istringstream ss(line);
     while (std::getline(ss, field, ',')) fields.push_back(field);
-    if (fields.size() != 5) {
+    if (fields.size() != 5 && fields.size() != 7) {
       throw std::runtime_error(
           strf("load_arrival_trace: %s:%zu: expected "
-               "time,name,kind,maps,reduces",
+               "time,name,kind,maps,reduces[,tenant,weight]",
                path.c_str(), line_no));
     }
     Arrival a;
@@ -183,6 +224,15 @@ std::vector<Arrival> load_arrival_trace(const std::string& path) {
                                     "be >= 0 and counts positive",
                                     path.c_str(), line_no));
     }
+    if (fields.size() == 7) {
+      a.job.tenant = TenantId(std::stoul(fields[5]));
+      a.job.weight = std::stod(fields[6]);
+      if (!(a.job.weight > 0.0)) {
+        throw std::runtime_error(strf("load_arrival_trace: %s:%zu: weight "
+                                      "must be > 0",
+                                      path.c_str(), line_no));
+      }
+    }
     arrivals.push_back(std::move(a));
   }
   std::stable_sort(arrivals.begin(), arrivals.end(),
@@ -201,11 +251,12 @@ void save_arrival_trace(const std::string& path,
   if (!out) {
     throw std::runtime_error("save_arrival_trace: cannot open " + path);
   }
-  out << "time,name,kind,maps,reduces\n";
+  out << "time,name,kind,maps,reduces,tenant,weight\n";
   for (const Arrival& a : arrivals) {
-    out << strf("%.17g,%s,%s,%zu,%zu\n", a.time, a.job.name.c_str(),
-                mapreduce::to_string(a.job.kind), a.job.map_count,
-                a.job.reduce_count);
+    out << strf("%.17g,%s,%s,%zu,%zu,%zu,%.17g\n", a.time,
+                a.job.name.c_str(), mapreduce::to_string(a.job.kind),
+                a.job.map_count, a.job.reduce_count, a.job.tenant.value(),
+                a.job.weight);
   }
   if (!out) {
     throw std::runtime_error("save_arrival_trace: write failed for " + path);

@@ -67,6 +67,22 @@ struct MmppConfig {
   Seconds mean_burst_sojourn = 120.0;
 };
 
+/// One tenant's arrival process in a multi-tenant stream. Each tenant
+/// draws its own arrival clock and job mix from dedicated RNG children
+/// ("tenant<i>-times" / "tenant<i>-mix"), so adding or reconfiguring one
+/// tenant never perturbs another tenant's stream — the isolation bench
+/// relies on the steady tenant's arrivals being invariant while the
+/// bursty neighbour's load sweeps.
+struct TenantConfig {
+  std::string name;  ///< label for output; "" = "tenant<i>"
+  ArrivalProcess process = ArrivalProcess::kPoisson;  ///< kTrace invalid
+  double rate_per_hour = 60.0;
+  MmppConfig mmpp;
+  JobMixConfig mix;
+  /// Fair-share weight stamped onto every job of this tenant (> 0).
+  double weight = 1.0;
+};
+
 struct ArrivalConfig {
   ArrivalProcess process = ArrivalProcess::kPoisson;
   /// Mean arrival rate of the calm/base state, in jobs per hour.
@@ -77,6 +93,11 @@ struct ArrivalConfig {
   JobMixConfig mix;
   /// CSV file to replay when process == kTrace.
   std::string trace_path;
+  /// Multi-tenant streams: when non-empty, each tenant generates its own
+  /// sub-stream (tenant i's jobs are tagged TenantId(i)) and the merged
+  /// sequence replaces the single-tenant process/rate/mmpp/mix fields
+  /// above (duration still applies to every tenant).
+  std::vector<TenantConfig> tenants;
 };
 
 /// One pre-drawn arrival: a catalog-derived job entering at `time`.
@@ -95,9 +116,10 @@ struct Arrival {
                                                      const Rng& rng);
 
 /// Load an arrival trace CSV with a header row of
-///   time,name,kind,maps,reduces
-/// (kind is Wordcount | Terasort | Grep | Custom). Lines starting with '#'
-/// and blank lines are skipped; rows are sorted by time on load. Throws
+///   time,name,kind,maps,reduces[,tenant,weight]
+/// (kind is Wordcount | Terasort | Grep | Custom; the optional tenant /
+/// weight pair defaults to 0 / 1.0). Lines starting with '#' and blank
+/// lines are skipped; rows are sorted by time on load. Throws
 /// std::runtime_error on unreadable files or malformed rows.
 [[nodiscard]] std::vector<Arrival> load_arrival_trace(
     const std::string& path);

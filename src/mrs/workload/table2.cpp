@@ -63,9 +63,12 @@ mapreduce::JobSpec make_job_spec(const JobDescription& desc,
                                  const WorkloadConfig& cfg,
                                  Seconds submit_time) {
   MRS_REQUIRE(desc.map_count >= 1 && desc.reduce_count >= 1);
+  MRS_REQUIRE(desc.weight > 0.0);
   mapreduce::JobSpec spec;
   spec.name = desc.name;
   spec.kind = desc.kind;
+  spec.weight = desc.weight;
+  spec.tenant = desc.tenant;
   spec.reduce_count = desc.reduce_count;
   spec.map_rate = profile.map_rate;
   spec.reduce_rate = profile.reduce_rate;
@@ -126,9 +129,10 @@ std::vector<JobDescription> load_jobs_csv(const std::string& path) {
     std::string field;
     std::istringstream ss(line);
     while (std::getline(ss, field, ',')) fields.push_back(field);
-    if (fields.size() != 4) {
+    if (fields.size() < 4 || fields.size() > 6) {
       throw std::runtime_error(strf("load_jobs_csv: %s:%zu: expected "
-                                    "name,kind,maps,reduces",
+                                    "name,kind,maps,reduces[,weight"
+                                    "[,tenant]]",
                                     path.c_str(), line_no));
     }
     JobDescription d;
@@ -150,6 +154,13 @@ std::vector<JobDescription> load_jobs_csv(const std::string& path) {
                                     "be positive",
                                     path.c_str(), line_no));
     }
+    if (fields.size() >= 5) d.weight = std::stod(fields[4]);
+    if (!(d.weight > 0.0)) {
+      throw std::runtime_error(strf("load_jobs_csv: %s:%zu: weight must "
+                                    "be > 0",
+                                    path.c_str(), line_no));
+    }
+    if (fields.size() >= 6) d.tenant = TenantId(std::stoul(fields[5]));
     jobs.push_back(std::move(d));
   }
   if (jobs.empty()) {

@@ -21,6 +21,10 @@ struct JobDescription {
   double nominal_gb = 0.0;
   std::size_t map_count = 0;
   std::size_t reduce_count = 0;
+  /// Fair-share weight carried onto JobSpec::weight (must be > 0).
+  double weight = 1.0;
+  /// Owning tenant carried onto JobSpec::tenant.
+  TenantId tenant = TenantId(0);
 };
 
 /// All 30 jobs of Table II, in JobID order.
@@ -63,10 +67,12 @@ struct WorkloadConfig {
     dfs::BlockPlacer& placer, const WorkloadConfig& cfg);
 
 /// Load custom job descriptions from a CSV file with a header row of
-///   name,kind,maps,reduces
-/// where kind is Wordcount | Terasort | Grep (sets the execution profile).
-/// Lines starting with '#' and blank lines are skipped. Throws
-/// std::runtime_error on unreadable files or malformed rows.
+///   name,kind,maps,reduces[,weight[,tenant]]
+/// where kind is Wordcount | Terasort | Grep (sets the execution profile),
+/// weight is the fair-share weight (> 0, default 1) and tenant a
+/// non-negative tenant index (default 0). Lines starting with '#' and
+/// blank lines are skipped. Throws std::runtime_error on unreadable files
+/// or malformed rows.
 [[nodiscard]] std::vector<JobDescription> load_jobs_csv(
     const std::string& path);
 

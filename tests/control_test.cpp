@@ -2,6 +2,8 @@
 // node blacklisting, and their integration with the engine.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "mrs/control/admission.hpp"
 #include "mrs/control/blacklist.hpp"
 #include "mrs/sched/fifo.hpp"
@@ -45,6 +47,85 @@ TEST(Admission, StaticThresholdDefersAtLimit) {
   EXPECT_EQ(ctl.on_arrival(JobId(1), 0.0, 0, obs_at(0.0, 3)).action,
             AdmissionAction::kDefer);
   EXPECT_EQ(ctl.deferral_queue_depth(), 1u);
+}
+
+TEST(Admission, TenantQuotaLimitIsWeightedShare) {
+  AdmissionConfig cfg;
+  cfg.max_jobs_in_system = 24.0;
+  cfg.tenant_quota_weights = {3.0, 1.0};
+  const AdmissionController ctl(cfg);
+  EXPECT_DOUBLE_EQ(ctl.tenant_quota_limit(TenantId(0)), 18.0);  // 24 * 3/4
+  EXPECT_DOUBLE_EQ(ctl.tenant_quota_limit(TenantId(1)), 6.0);   // 24 * 1/4
+  // Tenants beyond the table share as if weight 1 (never over budget).
+  EXPECT_DOUBLE_EQ(ctl.tenant_quota_limit(TenantId(9)), 6.0);
+
+  const AdmissionController off({});
+  EXPECT_TRUE(std::isinf(off.tenant_quota_limit(TenantId(0))));
+}
+
+TEST(Admission, TenantQuotaGateDefersOverBudgetTenant) {
+  // Always-admit policy + quotas: the gate alone must defer a tenant at
+  // its weighted share even though the cluster-wide policy says admit,
+  // and must leave the under-budget tenant untouched.
+  AdmissionConfig cfg;
+  cfg.max_jobs_in_system = 8.0;
+  cfg.tenant_quota_weights = {3.0, 1.0};  // limits: 6 and 2 jobs
+  AdmissionController ctl(cfg);
+  auto tenant_obs = [](Seconds now, std::size_t tenant,
+                       std::size_t tenant_jobs) {
+    AdmissionObservables obs;
+    obs.now = now;
+    obs.tenant = TenantId(tenant);
+    obs.jobs_in_system = tenant_jobs;  // aggregate L irrelevant here
+    obs.tenant_jobs_in_system = tenant_jobs;
+    return obs;
+  };
+  // Tenant 1 at its limit of 2: deferred despite always-admit.
+  EXPECT_EQ(ctl.on_arrival(JobId(0), 0.0, 0, tenant_obs(0.0, 1, 2)).action,
+            AdmissionAction::kDefer);
+  // Tenant 1 under its limit: admitted.
+  EXPECT_EQ(ctl.on_arrival(JobId(1), 0.0, 0, tenant_obs(0.0, 1, 1)).action,
+            AdmissionAction::kAdmit);
+  // Tenant 0 holding 5 < 6: admitted even while tenant 1 is gated.
+  EXPECT_EQ(ctl.on_arrival(JobId(2), 0.0, 0, tenant_obs(0.0, 0, 5)).action,
+            AdmissionAction::kAdmit);
+  EXPECT_EQ(ctl.on_arrival(JobId(3), 0.0, 0, tenant_obs(0.0, 0, 6)).action,
+            AdmissionAction::kDefer);
+  // The ledger records the gated arrivals' tenants.
+  EXPECT_EQ(ctl.outcomes()[0].tenant, TenantId(1));
+  EXPECT_EQ(ctl.outcomes()[3].tenant, TenantId(0));
+}
+
+TEST(Admission, TenantQuotaGateFeedsDeferralBudget) {
+  // A persistently over-quota tenant runs through the normal deferral
+  // machinery and is hard-rejected once the budget is spent.
+  AdmissionConfig cfg;
+  cfg.max_jobs_in_system = 4.0;
+  cfg.tenant_quota_weights = {1.0, 1.0};  // 2 jobs each
+  cfg.deferral.max_deferrals = 2;
+  AdmissionController ctl(cfg);
+  AdmissionObservables obs;
+  obs.tenant = TenantId(0);
+  obs.tenant_jobs_in_system = 2;
+  EXPECT_EQ(ctl.on_arrival(JobId(0), 0.0, 0, obs).action,
+            AdmissionAction::kDefer);
+  EXPECT_EQ(ctl.on_arrival(JobId(0), 0.0, 1, obs).action,
+            AdmissionAction::kDefer);
+  EXPECT_EQ(ctl.on_arrival(JobId(0), 0.0, 2, obs).action,
+            AdmissionAction::kReject);
+  EXPECT_EQ(ctl.jobs_rejected(), 1u);
+  EXPECT_TRUE(ctl.outcomes()[0].resolved);
+  EXPECT_FALSE(ctl.outcomes()[0].admitted);
+}
+
+TEST(Admission, QuotaConfigValidation) {
+  AdmissionConfig bad_weight;
+  bad_weight.tenant_quota_weights = {1.0, 0.0};
+  EXPECT_DEATH(AdmissionController{bad_weight}, "");
+  AdmissionConfig no_budget;
+  no_budget.max_jobs_in_system = 0.0;
+  no_budget.tenant_quota_weights = {1.0};
+  EXPECT_DEATH(AdmissionController{no_budget}, "max_jobs_in_system");
 }
 
 TEST(Admission, BackoffDoublesThenRejects) {

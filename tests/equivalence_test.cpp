@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <tuple>
 
 #include "mrs/driver/experiment.hpp"
@@ -146,6 +147,121 @@ TEST_P(EquivalenceTest, AlwaysAdmitControllerIsNoop) {
     EXPECT_DOUBLE_EQ(with.steady.response_time.p99,
                      bare.steady.response_time.p99);
   }
+}
+
+StreamConfig two_tenant_stream(SchedulerKind kind, std::uint64_t seed) {
+  StreamConfig cfg;
+  cfg.base = paper_config(batch_jobs(), kind, seed);
+  cfg.base.nodes = 8;
+  cfg.arrivals.duration = 400.0;
+  cfg.arrivals.mix.map_count_scale = 0.02;
+  cfg.arrivals.mix.reduce_count_scale = 0.02;
+  cfg.warmup = 50.0;
+  workload::TenantConfig steady;
+  steady.rate_per_hour = 240.0;
+  steady.weight = 4.0;
+  steady.mix = cfg.arrivals.mix;
+  workload::TenantConfig bursty;
+  bursty.process = workload::ArrivalProcess::kMmpp;
+  bursty.rate_per_hour = 240.0;
+  bursty.weight = 1.0;
+  bursty.mix = cfg.arrivals.mix;
+  cfg.arrivals.tenants = {steady, bursty};
+  return cfg;
+}
+
+void expect_identical_tenant_summaries(
+    const metrics::SteadyStateSummary& a,
+    const metrics::SteadyStateSummary& b) {
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+    const auto& x = a.tenants[i];
+    const auto& y = b.tenants[i];
+    EXPECT_EQ(x.tenant, y.tenant);
+    EXPECT_EQ(x.jobs_submitted, y.jobs_submitted);
+    EXPECT_EQ(x.jobs_completed, y.jobs_completed);
+    EXPECT_EQ(x.jobs_unfinished, y.jobs_unfinished);
+    EXPECT_EQ(x.jobs_rejected, y.jobs_rejected);
+    EXPECT_EQ(x.jobs_deferred, y.jobs_deferred);
+    EXPECT_DOUBLE_EQ(x.throughput_jobs_per_hour, y.throughput_jobs_per_hour);
+    EXPECT_DOUBLE_EQ(x.response_time.mean, y.response_time.mean);
+    EXPECT_DOUBLE_EQ(x.response_time.p99, y.response_time.p99);
+    EXPECT_DOUBLE_EQ(x.queueing_delay.mean, y.queueing_delay.mean);
+    EXPECT_DOUBLE_EQ(x.mean_jobs_in_system, y.mean_jobs_in_system);
+  }
+}
+
+TEST(MultiTenant, TenantSlicesSumToAggregate) {
+  // Two-tenant stream under the fair scheduler: every arrival belongs to
+  // exactly one tenant, so the per-tenant slices must partition the
+  // aggregate steady-state counts.
+  StreamConfig cfg = two_tenant_stream(SchedulerKind::kFair, 5);
+  const auto r = run_stream_experiment(cfg);
+  ASSERT_EQ(r.steady.tenants.size(), 2u);
+  for (const auto& a : r.arrivals) {
+    EXPECT_LT(a.job.tenant.value(), 2u);
+  }
+  std::size_t submitted = 0, completed = 0, unfinished = 0;
+  std::size_t rejected = 0, deferred = 0;
+  double occupancy = 0.0;
+  for (const auto& t : r.steady.tenants) {
+    submitted += t.jobs_submitted;
+    completed += t.jobs_completed;
+    unfinished += t.jobs_unfinished;
+    rejected += t.jobs_rejected;
+    deferred += t.jobs_deferred;
+    occupancy += t.mean_jobs_in_system;
+  }
+  EXPECT_EQ(submitted, r.steady.jobs_submitted);
+  EXPECT_EQ(completed, r.steady.jobs_completed);
+  EXPECT_EQ(unfinished, r.steady.jobs_unfinished);
+  EXPECT_EQ(rejected, r.steady.jobs_rejected);
+  EXPECT_EQ(deferred, r.steady.jobs_deferred);
+  EXPECT_DOUBLE_EQ(occupancy, r.steady.mean_jobs_in_system);
+}
+
+TEST(MultiTenant, SerialAndParallelRunsIdentical) {
+  // The per-tenant summaries must be byte-identical whether the stream
+  // runs alone in this thread or concurrently with an unrelated run —
+  // the determinism contract extends to the tenant slices.
+  const StreamConfig cfg = two_tenant_stream(SchedulerKind::kFair, 9);
+  const auto serial = run_stream_experiment(cfg);
+
+  StreamResult threaded, other;
+  std::thread worker([&] { threaded = run_stream_experiment(cfg); });
+  std::thread noise([&] {
+    other = run_stream_experiment(
+        two_tenant_stream(SchedulerKind::kPna, 10));
+  });
+  worker.join();
+  noise.join();
+  expect_identical_results(serial.run, threaded.run);
+  expect_identical_tenant_summaries(serial.steady, threaded.steady);
+  (void)other;
+}
+
+TEST(MultiTenant, AlwaysAdmitNoQuotaIsNoopOnTenantStream) {
+  // The always-admit + no-quota control plane must stay a provable no-op
+  // on the multi-tenant path too: with the controller removed entirely the
+  // run is byte-identical.
+  StreamConfig cfg = two_tenant_stream(SchedulerKind::kFair, 11);
+  StreamConfig bare_cfg = cfg;
+  bare_cfg.base.enable_admission = false;
+  const auto with = run_stream_experiment(cfg);
+  const auto bare = run_stream_experiment(bare_cfg);
+  expect_identical_results(bare.run, with.run);
+  EXPECT_EQ(with.steady.jobs_rejected, 0u);
+  EXPECT_EQ(with.steady.jobs_deferred, 0u);
+  expect_identical_tenant_summaries(bare.steady, with.steady);
+}
+
+TEST(MultiTenant, WeightedFairOrderStillDrains) {
+  StreamConfig cfg = two_tenant_stream(SchedulerKind::kFair, 12);
+  cfg.base.fair.job_order = mapreduce::JobOrder::kWeightedFair;
+  const auto r = run_stream_experiment(cfg);
+  EXPECT_TRUE(r.run.completed);
+  EXPECT_GT(r.steady.jobs_completed, 0u);
+  ASSERT_EQ(r.steady.tenants.size(), 2u);
 }
 
 std::string param_name(

@@ -10,9 +10,18 @@ namespace {
 
 class ResultIoTest : public ::testing::Test {
  protected:
-  std::string dir_ = (std::filesystem::temp_directory_path() /
-                      "pnats_result_io_test")
-                         .string();
+  // Per-test directory: ctest runs each case as its own process in
+  // parallel, so a shared path races one case's teardown against
+  // another's save/load.
+  std::string dir_;
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("pnats_result_io_") + info->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
   static ExperimentResult small_result() {

@@ -197,6 +197,117 @@ TEST(Coupling, NoColocatedReduces) {
   EXPECT_FALSE(w.violated);
 }
 
+TEST(Fair, DelayStateEvictedWhenJobsFinish) {
+  // Regression: FairScheduler used to keep a delay_ entry for every job it
+  // ever considered, so an open-loop stream grew the map by one entry per
+  // job forever. The invariant is that delay-state entries never exceed
+  // the active-job count, and an idle scheduler holds none.
+  struct Watcher final : mapreduce::TaskScheduler {
+    FairScheduler* inner = nullptr;
+    bool leaked = false;
+    const char* name() const override { return "watch"; }
+    void on_heartbeat(mapreduce::Engine& e, NodeId node) override {
+      inner->on_heartbeat(e, node);
+      if (inner->delay_state_count() > e.active_jobs().size()) leaked = true;
+    }
+    void on_job_finished(mapreduce::Engine& e, JobId job) override {
+      inner->on_job_finished(e, job);
+    }
+  } w;
+  MiniCluster h(4);
+  for (int j = 0; j < 6; ++j) h.submit_job(8, 2);
+  FairScheduler fair(FairConfig{}, Rng(11));
+  w.inner = &fair;
+  h.run(w);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  EXPECT_FALSE(w.leaked);
+  EXPECT_EQ(fair.delay_state_count(), 0u);
+}
+
+TEST(Fair, NoteSkipEscalatesThroughEveryEarnedLevel) {
+  // A single skip after a long quiet gap must walk the level through every
+  // threshold the elapsed wait covers — the old single-step version left
+  // the job stranded one level behind per heartbeat.
+  const FairConfig cfg{.node_local_delay = 2.25, .rack_local_delay = 2.25};
+  FairScheduler::DelayState ds;
+  FairScheduler::note_skip(ds, 0.0, cfg);
+  EXPECT_EQ(ds.level, 0);
+  EXPECT_DOUBLE_EQ(ds.wait_start, 0.0);
+  // 10 s of accumulated wait spans both 2.25 s thresholds at once.
+  FairScheduler::note_skip(ds, 10.0, cfg);
+  EXPECT_EQ(ds.level, 2);
+  EXPECT_DOUBLE_EQ(ds.wait_start, 4.5);  // leftover credited, not reset
+  // The level is capped at 2 no matter how long the wait grows.
+  FairScheduler::note_skip(ds, 1000.0, cfg);
+  EXPECT_EQ(ds.level, 2);
+}
+
+TEST(Fair, NoteSkipPartialWaitDoesNotEscalate) {
+  const FairConfig cfg{.node_local_delay = 2.0, .rack_local_delay = 3.0};
+  FairScheduler::DelayState ds;
+  FairScheduler::note_skip(ds, 5.0, cfg);
+  EXPECT_EQ(ds.level, 0);
+  FairScheduler::note_skip(ds, 6.9, cfg);  // 1.9 s < node_local_delay
+  EXPECT_EQ(ds.level, 0);
+  FairScheduler::note_skip(ds, 7.0, cfg);  // exactly the threshold
+  EXPECT_EQ(ds.level, 1);
+  EXPECT_DOUBLE_EQ(ds.wait_start, 7.0);
+  FairScheduler::note_skip(ds, 9.9, cfg);  // 2.9 s < rack_local_delay
+  EXPECT_EQ(ds.level, 1);
+  FairScheduler::note_skip(ds, 10.0, cfg);
+  EXPECT_EQ(ds.level, 2);
+}
+
+TEST(Fair, SubmitRejectsNonPositiveWeight) {
+  // Zero/negative weights would make the weighted-fair deficit comparator
+  // an invalid strict weak ordering; the engine refuses them up front.
+  MiniCluster h(2);
+  mapreduce::JobSpec spec;
+  spec.name = "bad-weight";
+  spec.weight = 0.0;
+  spec.reduce_count = 1;
+  const BlockId b = h.store.add_block(
+      64.0 * units::kMiB,
+      h.placer.place(1, dfs::PlacementPolicy::kHdfsDefault));
+  spec.map_tasks.push_back({b, 64.0 * units::kMiB});
+  EXPECT_DEATH(h.engine.submit(std::move(spec), Rng(1)), "weight");
+}
+
+TEST(JobPolicy, WeightedFairOrdersByDeficit) {
+  // a: weight 4, b: weight 1. With 2 vs 1 running maps the deficits are
+  // 2/4 = 0.5 vs 1/1 = 1.0, so the heavier tenant's job still goes first —
+  // plain kFair would order b (fewer running) ahead.
+  MiniCluster h(4);
+  auto weighted = [&](const char* name, double w) -> JobRun& {
+    mapreduce::JobSpec spec;
+    spec.name = name;
+    spec.weight = w;
+    spec.reduce_count = 1;
+    for (int j = 0; j < 6; ++j) {
+      const BlockId b = h.store.add_block(
+          64.0 * units::kMiB,
+          h.placer.place(2, dfs::PlacementPolicy::kHdfsDefault));
+      spec.map_tasks.push_back({b, 64.0 * units::kMiB});
+    }
+    return h.engine.submit(std::move(spec), Rng(21));
+  };
+  JobRun& a = weighted("heavy", 4.0);
+  JobRun& b = weighted("light", 1.0);
+  static FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  h.engine.start();
+  h.sim.run(0.1);
+  a.note_map_assigned();
+  a.note_map_assigned();
+  b.note_map_assigned();
+  const auto weighted_order =
+      mapreduce::jobs_for_maps(h.engine, JobOrder::kWeightedFair);
+  ASSERT_EQ(weighted_order.size(), 2u);
+  EXPECT_EQ(weighted_order.front(), &a);
+  const auto fair_order = mapreduce::jobs_for_maps(h.engine, JobOrder::kFair);
+  EXPECT_EQ(fair_order.front(), &b);
+}
+
 TEST(JobPolicy, FairOrdersByRunningTasks) {
   MiniCluster h(4);
   JobRun& a = h.submit_job(10, 2);

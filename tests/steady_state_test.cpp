@@ -173,13 +173,13 @@ TEST(SteadyState, AdmissionOutcomesCountRejectionsAndDeferrals) {
   };
   const std::vector<control::ArrivalOutcome> outcomes = {
       // job 1: admitted on the spot.
-      {JobId(1), 20.0, 20.0, 0, true, true},
+      {JobId(1), TenantId(0), 20.0, 20.0, 0, true, true},
       // job 2: arrived at 30, deferred once, admitted at 45.
-      {JobId(2), 30.0, 45.0, 1, true, true},
+      {JobId(2), TenantId(0), 30.0, 45.0, 1, true, true},
       // job 3: arrived at 40, deferred out of its budget, rejected at 85.
-      {JobId(3), 40.0, 85.0, 3, true, false},
+      {JobId(3), TenantId(0), 40.0, 85.0, 3, true, false},
       // job 4: arrived outside the window — not counted.
-      {JobId(4), 5.0, 5.0, 0, true, false},
+      {JobId(4), TenantId(0), 5.0, 5.0, 0, true, false},
   };
   const auto s = steady_state_summary(jobs, {}, Window{10.0, 110.0}, 10, 5,
                                       outcomes);
@@ -192,6 +192,80 @@ TEST(SteadyState, AdmissionOutcomesCountRejectionsAndDeferrals) {
   EXPECT_EQ(s.deferral_delay.count, 2u);
   EXPECT_DOUBLE_EQ(s.deferral_delay.mean, 30.0);
   EXPECT_DOUBLE_EQ(s.deferral_delay.max, 45.0);
+}
+
+TEST(SteadyState, TenantSlicesPartitionTheAggregate) {
+  // Window [10, 110). Two tenants; every per-tenant count must sum back to
+  // the aggregate, and the latency percentiles are per-tenant samples.
+  std::vector<JobRecord> jobs = {
+      job(1, 20.0, 50.0),   // tenant 0, response 30
+      job(2, 30.0, 90.0),   // tenant 1, response 60
+      // tenant 1: completes outside the window (no goodput credit) but
+      // submits inside it, so its response time of 100 still samples.
+      job(3, 60.0, 160.0),
+      job(4, 70.0, -1.0),   // tenant 0, unfinished (truncation sentinel)
+  };
+  jobs[1].tenant = TenantId(1);
+  jobs[2].tenant = TenantId(1);
+  const std::vector<control::ArrivalOutcome> outcomes = {
+      {JobId(1), TenantId(0), 20.0, 20.0, 0, true, true},
+      {JobId(2), TenantId(1), 30.0, 30.0, 0, true, true},
+      {JobId(3), TenantId(1), 60.0, 60.0, 0, true, true},
+      {JobId(4), TenantId(0), 70.0, 70.0, 0, true, true},
+      // tenant 1 rejection: ledger-only arrival (no JobRecord).
+      {JobId(5), TenantId(1), 80.0, 95.0, 2, true, false},
+  };
+  const auto s = steady_state_summary(jobs, {}, Window{10.0, 110.0}, 10, 5,
+                                      outcomes);
+  ASSERT_EQ(s.tenants.size(), 2u);
+  const TenantSummary* t0 = s.tenant(TenantId(0));
+  const TenantSummary* t1 = s.tenant(TenantId(1));
+  ASSERT_NE(t0, nullptr);
+  ASSERT_NE(t1, nullptr);
+  EXPECT_EQ(s.tenant(TenantId(7)), nullptr);
+
+  EXPECT_EQ(t0->jobs_submitted, 2u);
+  EXPECT_EQ(t1->jobs_submitted, 3u);  // incl. the ledger-only rejection
+  EXPECT_EQ(t0->jobs_completed, 1u);
+  EXPECT_EQ(t1->jobs_completed, 1u);
+  EXPECT_EQ(t0->jobs_unfinished, 1u);
+  EXPECT_EQ(t1->jobs_rejected, 1u);
+  EXPECT_EQ(t1->jobs_deferred, 1u);
+  EXPECT_DOUBLE_EQ(t1->rejection_rate, 1.0 / 3.0);
+
+  // Slices partition every aggregate count.
+  EXPECT_EQ(t0->jobs_submitted + t1->jobs_submitted, s.jobs_submitted);
+  EXPECT_EQ(t0->jobs_completed + t1->jobs_completed, s.jobs_completed);
+  EXPECT_EQ(t0->jobs_unfinished + t1->jobs_unfinished, s.jobs_unfinished);
+  EXPECT_EQ(t0->jobs_rejected + t1->jobs_rejected, s.jobs_rejected);
+  EXPECT_EQ(t0->jobs_deferred + t1->jobs_deferred, s.jobs_deferred);
+  EXPECT_DOUBLE_EQ(t0->mean_jobs_in_system + t1->mean_jobs_in_system,
+                   s.mean_jobs_in_system);
+  EXPECT_DOUBLE_EQ(
+      t0->throughput_jobs_per_hour + t1->throughput_jobs_per_hour,
+      s.throughput_jobs_per_hour);
+
+  // Per-tenant latency samples: t0 = {30}, t1 = {60, 100}.
+  EXPECT_EQ(t0->response_time.count, 1u);
+  EXPECT_DOUBLE_EQ(t0->response_time.mean, 30.0);
+  EXPECT_EQ(t1->response_time.count, 2u);
+  EXPECT_DOUBLE_EQ(t1->response_time.mean, 80.0);
+  EXPECT_EQ(t0->response_time.count + t1->response_time.count,
+            s.response_time.count);
+
+  // Occupancy: t0 = job1 [20,50) + job4 [70,110) = 70; t1 = job2 [30,90) +
+  // job3 [60,110) = 110.
+  EXPECT_DOUBLE_EQ(t0->mean_jobs_in_system, 0.7);
+  EXPECT_DOUBLE_EQ(t1->mean_jobs_in_system, 1.1);
+}
+
+TEST(SteadyState, SingleTenantRunsGetOneSliceForTenantZero) {
+  const std::vector<JobRecord> jobs = {job(1, 20.0, 50.0)};
+  const auto s = steady_state_summary(jobs, {}, Window{10.0, 110.0}, 4, 2);
+  ASSERT_EQ(s.tenants.size(), 1u);
+  EXPECT_EQ(s.tenants[0].tenant, TenantId(0));
+  EXPECT_EQ(s.tenants[0].jobs_submitted, s.jobs_submitted);
+  EXPECT_EQ(s.tenants[0].jobs_completed, s.jobs_completed);
 }
 
 TEST(SteadyState, EmptyWindowedRecords) {

@@ -72,6 +72,36 @@ LO_OUT="$(./build/tools/pnats_sim --arrivals poisson --rate 150 \
 echo "$LO_OUT" | grep -q 'rejected=0 (0.0%) deferred=0'
 echo "admission smoke: threshold policy rejects past the knee only"
 
+echo "==> tenant smoke: two-tenant stream reports per-tenant slices"
+# A steady Poisson tenant and a bursty MMPP neighbour: the summary must
+# print one parseable line per tenant, and the tenant slices must sum to
+# the aggregate submitted/completed counts on the steady-state line.
+MT_OUT="$(./build/tools/pnats_sim --tenants 2 \
+  --tenant-rates 150,300 --tenant-processes poisson,mmpp \
+  --tenant-weights 4,1 --tenant-quotas 4,1 --admission-threshold 24 \
+  --scheduler fair --fair-order weighted \
+  --duration 600 --nodes 12 --job-scale 0.05 --warmup 100 --seed 42 \
+  --log-level warn --quiet)"
+echo "$MT_OUT" | grep -Eq 'tenant 0 submitted=[0-9]+ completed=[0-9]+'
+echo "$MT_OUT" | grep -Eq 'tenant 1 submitted=[0-9]+ completed=[0-9]+'
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<PY
+import re
+out = '''$MT_OUT'''
+agg = re.search(r"submitted=(\d+) completed=(\d+)", out)
+slices = re.findall(r"tenant \d+ submitted=(\d+) completed=(\d+)", out)
+assert agg and len(slices) == 2, "missing aggregate or tenant lines"
+assert sum(int(s) for s, _ in slices) == int(agg.group(1)), "submitted sum"
+assert sum(int(c) for _, c in slices) == int(agg.group(2)), "completed sum"
+print("tenant smoke: slices sum to aggregate "
+      f"({agg.group(1)} submitted, {agg.group(2)} completed)")
+PY
+fi
+echo "==> tenant smoke: quick isolation bench runs"
+PNATS_QUICK=1 ./build/bench/bench_tenant_isolation >/dev/null
+test -s bench_out/tenant_isolation_quick.csv
+echo "tenant smoke: bench_out/tenant_isolation_quick.csv written"
+
 echo "==> perf smoke: incremental scoring vs naive heartbeat path"
 ./build/bench/bench_micro_scheduler \
   --benchmark_filter='BM_PnaHeartbeatSaturated' \

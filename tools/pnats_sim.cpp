@@ -60,10 +60,23 @@
 //     --rate X            mean arrival rate in jobs/hour (default 60)
 //     --duration S        arrival horizon in sim-seconds (default 3600)
 //     --warmup S          measurement window start (default duration/6)
-//     --arrival-trace F   CSV (time,name,kind,maps,reduces) to replay
-//                         when --arrivals trace
+//     --arrival-trace F   CSV (time,name,kind,maps,reduces[,tenant,weight])
+//                         to replay when --arrivals trace
 //     --job-scale X       scale catalog map/reduce counts by X (quick
 //                         sweeps; default 1.0)
+//
+//   Multi-tenant streams (implies open-loop mode; default process poisson):
+//     --tenants N         number of tenants; each draws its own arrival
+//                         sub-stream (default rate = --rate / N each)
+//     --tenant-rates A,B,...      per-tenant jobs/hour (N values)
+//     --tenant-processes P,Q,...  per-tenant poisson|mmpp (N values)
+//     --tenant-bursts A,B,...     per-tenant MMPP burst multipliers
+//     --tenant-weights A,B,...    per-tenant fair-share weights (> 0)
+//     --tenant-quotas A,B,...     admission quota weights: tenant t may
+//                         hold at most admission-threshold * w_t / sum(w)
+//                         jobs in system (omit = quotas off)
+//     --fair-order NAME   fair|weighted — fair scheduler job order
+//                         (weighted uses JobSpec::weight deficits)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -97,7 +110,10 @@ using namespace mrs;
       "                 [--log-level trace|debug|info|warn|off] [--quiet]\n"
       "                 [--arrivals poisson|mmpp|trace] [--rate JOBS/H]\n"
       "                 [--duration S] [--warmup S] [--arrival-trace CSV]\n"
-      "                 [--job-scale X]\n",
+      "                 [--job-scale X] [--tenants N] [--tenant-rates A,B]\n"
+      "                 [--tenant-processes P,Q] [--tenant-bursts A,B]\n"
+      "                 [--tenant-weights A,B] [--tenant-quotas A,B]\n"
+      "                 [--fair-order fair|weighted]\n",
       code == 0 ? stdout : stderr);
   std::exit(code);
 }
@@ -137,6 +153,36 @@ LogLevel parse_log_level(const std::string& s) {
   usage(2);
 }
 
+/// Split "a,b,c" on commas (no escaping; empty fields preserved).
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::vector<double> parse_double_list(const std::string& flag,
+                                      const std::string& s) {
+  std::vector<double> out;
+  for (const auto& f : split_list(s)) {
+    try {
+      out.push_back(std::stod(f));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "%s: bad number '%s'\n", flag.c_str(), f.c_str());
+      usage(2);
+    }
+  }
+  return out;
+}
+
 std::vector<workload::JobDescription> parse_batch(const std::string& s) {
   using mapreduce::JobKind;
   if (s == "wordcount") return workload::table2_batch(JobKind::kWordcount);
@@ -164,6 +210,10 @@ int main(int argc, char** argv) {
   std::string arrivals_mode, arrival_trace;
   std::string telemetry_out, perfetto_out;
   std::string admission = "always-admit";
+  std::string fair_order = "fair";
+  std::string tenant_rates, tenant_processes, tenant_bursts;
+  std::string tenant_weights, tenant_quotas;
+  std::size_t tenants_n = 0;
   std::size_t nodes = 60, racks = 1, replication = 2;
   std::size_t max_deferrals = 4, max_attempts = 0, blacklist_failures = 2;
   std::uint64_t seed = 42;
@@ -220,6 +270,13 @@ int main(int argc, char** argv) {
     else if (arg == "--warmup") warmup = std::stod(next());
     else if (arg == "--arrival-trace") arrival_trace = next();
     else if (arg == "--job-scale") job_scale = std::stod(next());
+    else if (arg == "--tenants") tenants_n = std::stoul(next());
+    else if (arg == "--tenant-rates") tenant_rates = next();
+    else if (arg == "--tenant-processes") tenant_processes = next();
+    else if (arg == "--tenant-bursts") tenant_bursts = next();
+    else if (arg == "--tenant-weights") tenant_weights = next();
+    else if (arg == "--tenant-quotas") tenant_quotas = next();
+    else if (arg == "--fair-order") fair_order = next();
     else if (arg == "--quiet") quiet = true;
     else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
@@ -244,6 +301,16 @@ int main(int argc, char** argv) {
   cfg.admission.max_queueing_delay = admission_delay;
   cfg.admission.bucket_rate_per_hour = admission_rate;
   cfg.admission.deferral.max_deferrals = max_deferrals;
+  if (!tenant_quotas.empty()) {
+    cfg.admission.tenant_quota_weights =
+        parse_double_list("--tenant-quotas", tenant_quotas);
+  }
+  if (fair_order == "weighted") {
+    cfg.fair.job_order = mapreduce::JobOrder::kWeightedFair;
+  } else if (fair_order != "fair") {
+    std::fprintf(stderr, "unknown fair order '%s'\n", fair_order.c_str());
+    usage(2);
+  }
   cfg.engine.max_task_attempts = max_attempts;
   cfg.engine.blacklist.enabled = blacklist;
   cfg.engine.blacklist.failure_threshold = blacklist_failures;
@@ -281,6 +348,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown distance '%s'\n", distance.c_str());
     usage(2);
   }
+
+  // A tenant count alone is enough to ask for a multi-tenant stream; the
+  // global process field is ignored once per-tenant processes exist.
+  if (tenants_n > 0 && arrivals_mode.empty()) arrivals_mode = "poisson";
 
   if (!arrivals_mode.empty()) {
     driver::StreamConfig scfg;
@@ -324,6 +395,64 @@ int main(int argc, char** argv) {
     scfg.arrivals.mix.reduce_count_scale = job_scale;
     scfg.warmup = warmup < 0.0 ? duration / 6.0 : warmup;
 
+    if (tenants_n > 0) {
+      if (arrivals_mode == "trace") {
+        std::fputs("--tenants is incompatible with --arrivals trace "
+                   "(tag tenants in the trace file instead)\n",
+                   stderr);
+        usage(2);
+      }
+      // Per-tenant override lists must cover every tenant when given.
+      auto want_n = [&](const std::string& flag, std::size_t got) {
+        if (got != tenants_n) {
+          std::fprintf(stderr, "%s needs %zu comma-separated values\n",
+                       flag.c_str(), tenants_n);
+          usage(2);
+        }
+      };
+      std::vector<double> rates, bursts, weights;
+      std::vector<std::string> procs;
+      if (!tenant_rates.empty()) {
+        rates = parse_double_list("--tenant-rates", tenant_rates);
+        want_n("--tenant-rates", rates.size());
+      }
+      if (!tenant_bursts.empty()) {
+        bursts = parse_double_list("--tenant-bursts", tenant_bursts);
+        want_n("--tenant-bursts", bursts.size());
+      }
+      if (!tenant_weights.empty()) {
+        weights = parse_double_list("--tenant-weights", tenant_weights);
+        want_n("--tenant-weights", weights.size());
+      }
+      if (!tenant_processes.empty()) {
+        procs = split_list(tenant_processes);
+        want_n("--tenant-processes", procs.size());
+      }
+      scfg.arrivals.tenants.resize(tenants_n);
+      for (std::size_t t = 0; t < tenants_n; ++t) {
+        auto& tc = scfg.arrivals.tenants[t];
+        tc.mix = scfg.arrivals.mix;
+        tc.mmpp = scfg.arrivals.mmpp;
+        // Default: split the global rate evenly so --rate still names the
+        // total offered load.
+        tc.rate_per_hour =
+            rates.empty() ? rate / static_cast<double>(tenants_n) : rates[t];
+        if (!bursts.empty()) tc.mmpp.burst_rate_multiplier = bursts[t];
+        if (!weights.empty()) tc.weight = weights[t];
+        if (procs.empty()) {
+          tc.process = scfg.arrivals.process;
+        } else if (procs[t] == "poisson") {
+          tc.process = workload::ArrivalProcess::kPoisson;
+        } else if (procs[t] == "mmpp") {
+          tc.process = workload::ArrivalProcess::kMmpp;
+        } else {
+          std::fprintf(stderr, "unknown tenant process '%s'\n",
+                       procs[t].c_str());
+          usage(2);
+        }
+      }
+    }
+
     if (!quiet) {
       std::printf("pnats_sim: open-loop %s stream | %.1f jobs/h over %.0fs "
                   "(warmup %.0fs) | %zu nodes x %zu racks | scheduler=%s "
@@ -339,10 +468,11 @@ int main(int argc, char** argv) {
                 stream.run.completed ? "yes" : "NO",
                 stream.arrivals.size(), stream.run.makespan);
     std::printf("steady-state [%.0fs, %.0fs): offered=%.1f jobs/h "
-                "goodput=%.1f jobs/h (%.1f MiB/s offered)\n",
+                "goodput=%.1f jobs/h submitted=%zu completed=%zu "
+                "(%.1f MiB/s offered)\n",
                 ss.window.begin, ss.window.end, ss.offered_jobs_per_hour,
-                ss.throughput_jobs_per_hour,
-                units::to_MiB(ss.offered_bytes_per_sec));
+                ss.throughput_jobs_per_hour, ss.jobs_submitted,
+                ss.jobs_completed, units::to_MiB(ss.offered_bytes_per_sec));
     std::printf("  response  p50=%.1fs p95=%.1fs p99=%.1fs mean=%.1fs "
                 "(n=%zu)\n",
                 ss.response_time.p50, ss.response_time.p95,
@@ -363,6 +493,17 @@ int main(int argc, char** argv) {
                 ss.jobs_rejected, 100.0 * ss.rejection_rate,
                 ss.jobs_deferred, ss.jobs_aborted, ss.deferral_delay.p50,
                 ss.deferral_delay.p99);
+    if (ss.tenants.size() > 1) {
+      for (const auto& t : ss.tenants) {
+        std::printf("  tenant %zu submitted=%zu completed=%zu "
+                    "rejected=%zu deferred=%zu goodput=%.1f jobs/h "
+                    "response p50=%.1fs p99=%.1fs L=%.2f\n",
+                    t.tenant.value(), t.jobs_submitted, t.jobs_completed,
+                    t.jobs_rejected, t.jobs_deferred,
+                    t.throughput_jobs_per_hour, t.response_time.p50,
+                    t.response_time.p99, t.mean_jobs_in_system);
+      }
+    }
     if (!out_dir.empty()) {
       driver::save_result(out_dir, "stream", stream.run);
       std::printf("records saved under %s/stream_*.csv\n", out_dir.c_str());
