@@ -137,17 +137,23 @@ BENCHMARK(BM_PnaHeartbeat)->Iterations(200);
 // Arg(0) = naive rescans, Arg(1) = incremental row sums + slot index.
 // items_per_second == heartbeats/sec (the number docs/perf.md records).
 struct SaturatedCluster {
-  explicit SaturatedCluster(bool incremental)
+  /// `hetero` swaps in a fast/slow split cluster (per-node slot counts and
+  /// speeds) and blends the compute term into the PNA cost (cost_mix 0.5)
+  /// — the incremental row sums stay exact, so the same gate applies.
+  explicit SaturatedCluster(bool incremental, bool hetero = false)
       : topo(net::make_single_rack(60, units::Gbps(1))),
         store(60),
         placer(&topo, Rng(1)),
-        clstr(&topo, {}, Rng(2)),
+        clstr(hetero ? cluster::Cluster(&topo, hetero_node_configs(),
+                                        {"fast", "slow"}, Rng(2))
+                     : cluster::Cluster(&topo, {}, Rng(2))),
         network(&sim, &topo),
         distance(topo),
         engine(&sim, &clstr, &store, &network, &distance, {}) {
     core::PnaConfig cfg;
     cfg.p_min = 0.9;  // > 1 - 1/e: every uniform remote offer is skipped
     cfg.incremental_scoring = incremental;
+    if (hetero) cfg.cost_mix = 0.5;
     pna = std::make_unique<core::PnaScheduler>(cfg, Rng(4));
     clstr.set_naive_free_scan(!incremental);
 
@@ -179,11 +185,16 @@ struct SaturatedCluster {
         }
       }
     }
-    // Saturate: 3 of 4 map slots busy on every node (all 60 stay in N_m),
-    // every reduce slot busy (the reduce walk is skipped entirely).
+    // Saturate: all but one map slot busy on every node (all 60 stay in
+    // N_m), every reduce slot busy (the reduce walk is skipped entirely).
     for (std::size_t n = 0; n < 60; ++n) {
-      for (int s = 0; s < 3; ++s) clstr.occupy_map_slot(NodeId(n));
-      for (int s = 0; s < 2; ++s) clstr.occupy_reduce_slot(NodeId(n));
+      const auto& node = clstr.node(NodeId(n));
+      for (std::size_t s = 0; s + 1 < node.map_slots; ++s) {
+        clstr.occupy_map_slot(NodeId(n));
+      }
+      for (std::size_t s = 0; s < node.reduce_slots; ++s) {
+        clstr.occupy_reduce_slot(NodeId(n));
+      }
     }
     engine.set_scheduler(pna.get());
     engine.start();
@@ -191,6 +202,20 @@ struct SaturatedCluster {
   }
 
   static constexpr std::size_t kProbes = 4;
+
+  /// Alternating fast (6/3 slots, 2x speed) / slow (2/1 slots, 0.5x)
+  /// nodes — same total slot count as the homogeneous 4/2 cluster.
+  static std::vector<cluster::NodeConfig> hetero_node_configs() {
+    std::vector<cluster::NodeConfig> configs(60);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const bool fast = i % 2 == 0;
+      configs[i].map_slots = fast ? 6 : 2;
+      configs[i].reduce_slots = fast ? 3 : 1;
+      configs[i].base_speed = fast ? 2.0 : 0.5;
+      configs[i].class_index = fast ? 0 : 1;
+    }
+    return configs;
+  }
 
   sim::Simulation sim;
   net::Topology topo;
@@ -215,6 +240,23 @@ void BM_PnaHeartbeatSaturated(benchmark::State& state) {
   state.SetLabel(state.range(0) == 1 ? "incremental" : "naive");
 }
 BENCHMARK(BM_PnaHeartbeatSaturated)->Arg(0)->Arg(1);
+
+// Same saturated scan on the fast/slow split cluster with the blended
+// network+compute cost (cost_mix 0.5): the per-candidate work gains the
+// speed-aware blend, and the free-set walks see per-node slot counts.
+// The incremental/naive gate and the per-machine baseline both extend to
+// this case (tools/check_perf.py).
+void BM_PnaHeartbeatHetero(benchmark::State& state) {
+  SaturatedCluster sc(state.range(0) == 1, /*hetero=*/true);
+  std::size_t probe = 0;
+  for (auto _ : state) {
+    sc.engine.heartbeat_now(NodeId(probe));
+    probe = (probe + 1) % SaturatedCluster::kProbes;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(state.range(0) == 1 ? "incremental" : "naive");
+}
+BENCHMARK(BM_PnaHeartbeatHetero)->Arg(0)->Arg(1);
 
 void BM_FlowRecompute(benchmark::State& state) {
   const auto topo = net::make_single_rack(60, units::Gbps(1));

@@ -2,24 +2,53 @@
 
 #include <algorithm>
 
+#include "mrs/common/strfmt.hpp"
+
 namespace mrs::cluster {
 
 Cluster::Cluster(const net::Topology* topo, const NodeConfig& cfg, Rng rng)
     : topo_(topo) {
   MRS_REQUIRE(topo_ != nullptr);
-  MRS_REQUIRE(cfg.map_slots >= 1);
-  MRS_REQUIRE(cfg.disk_rate > 0.0);
-  MRS_REQUIRE(cfg.speed_spread >= 0.0 && cfg.speed_spread < 1.0);
-  nodes_.reserve(topo_->host_count());
-  for (std::size_t i = 0; i < topo_->host_count(); ++i) {
+  const std::vector<NodeConfig> per_node(topo_->host_count(), cfg);
+  init_nodes(per_node, rng);
+}
+
+Cluster::Cluster(const net::Topology* topo,
+                 std::span<const NodeConfig> per_node,
+                 std::vector<std::string> class_names, Rng rng)
+    : topo_(topo), class_names_(std::move(class_names)) {
+  MRS_REQUIRE(topo_ != nullptr);
+  MRS_REQUIRE(per_node.size() == topo_->host_count());
+  MRS_REQUIRE(!class_names_.empty());
+  init_nodes(per_node, rng);
+}
+
+void Cluster::init_nodes(std::span<const NodeConfig> per_node, Rng& rng) {
+  nodes_.reserve(per_node.size());
+  for (std::size_t i = 0; i < per_node.size(); ++i) {
+    const NodeConfig& cfg = per_node[i];
+    MRS_REQUIRE(cfg.map_slots >= 1);
+    MRS_REQUIRE(cfg.disk_rate > 0.0);
+    MRS_REQUIRE(cfg.base_speed > 0.0);
+    MRS_REQUIRE(cfg.speed_spread >= 0.0 && cfg.speed_spread < 1.0);
+    MRS_REQUIRE(class_names_.empty() ||
+                cfg.class_index < class_names_.size());
     NodeState s;
     s.map_slots = cfg.map_slots;
     s.reduce_slots = cfg.reduce_slots;
     s.disk_rate = cfg.disk_rate;
-    s.speed_factor =
-        cfg.speed_spread > 0.0
-            ? rng.uniform(1.0 - cfg.speed_spread, 1.0 + cfg.speed_spread)
-            : 1.0;
+    s.class_index = cfg.class_index;
+    // Per-node labeled sub-stream: node i's jitter draw is invariant to
+    // unrelated config changes (and to the other nodes' draws), matching
+    // the tenant-stream contract. The deterministic base_speed carries a
+    // heterogeneity class's cpu_speed.
+    double jitter = 1.0;
+    if (cfg.speed_spread > 0.0) {
+      Rng node_rng = rng.split(strf("node%zu-speed", i));
+      jitter = node_rng.uniform(1.0 - cfg.speed_spread,
+                                1.0 + cfg.speed_spread);
+    }
+    s.speed_factor = cfg.base_speed * jitter;
     nodes_.push_back(s);
     total_map_ += cfg.map_slots;
     total_reduce_ += cfg.reduce_slots;
@@ -29,8 +58,18 @@ Cluster::Cluster(const net::Topology* topo, const NodeConfig& cfg, Rng rng)
   free_reduce_index_.reserve(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     free_map_index_.push_back(NodeId(i));
-    if (cfg.reduce_slots > 0) free_reduce_index_.push_back(NodeId(i));
+    if (nodes_[i].reduce_slots > 0) free_reduce_index_.push_back(NodeId(i));
   }
+}
+
+const std::string& Cluster::class_name(std::size_t c) const {
+  static const std::string kDefault = "default";
+  if (class_names_.empty()) {
+    MRS_REQUIRE(c == 0);
+    return kDefault;
+  }
+  MRS_REQUIRE(c < class_names_.size());
+  return class_names_[c];
 }
 
 void Cluster::index_insert(std::vector<NodeId>& index, NodeId id) {

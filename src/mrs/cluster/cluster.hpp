@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "mrs/common/ids.hpp"
@@ -34,8 +35,15 @@ struct NodeConfig {
   std::size_t reduce_slots = 2;
   BytesPerSec disk_rate = 150.0 * units::kMiB;  ///< local sequential read
   /// Relative CPU speed multiplier; per-node values are drawn from
-  /// [1 - speed_spread, 1 + speed_spread] to model mild heterogeneity.
+  /// base_speed * [1 - speed_spread, 1 + speed_spread] on the labeled
+  /// "node<i>-speed" sub-stream (invariant to unrelated config changes).
   double speed_spread = 0.0;
+  /// Deterministic speed component (a heterogeneity class's cpu_speed);
+  /// 1.0 for the homogeneous cluster.
+  double base_speed = 1.0;
+  /// Index into the cluster's class-name table (hetero::NodeClassProfile
+  /// resolution); 0 for homogeneous clusters.
+  std::size_t class_index = 0;
 };
 
 /// Per-node mutable state.
@@ -46,6 +54,7 @@ struct NodeState {
   std::size_t busy_reduce_slots = 0;
   double speed_factor = 1.0;
   BytesPerSec disk_rate = 0.0;
+  std::size_t class_index = 0;  ///< heterogeneity class (0 = default)
   bool alive = true;  ///< a failed TaskTracker offers no slots
   /// An alive node can still be withheld from scheduling (blacklist
   /// probation): it keeps running already-assigned tasks but offers no
@@ -73,6 +82,14 @@ class Cluster {
   /// Builds one NodeState per topology host. `rng` drives the speed-factor
   /// draw only.
   Cluster(const net::Topology* topo, const NodeConfig& cfg, Rng rng);
+
+  /// Heterogeneous construction: one NodeConfig per topology host
+  /// (resolved by hetero::NodeClassProfile) plus the class-name table the
+  /// per-class telemetry and summaries label with. Speed-spread jitter is
+  /// drawn exactly as in the uniform constructor, around each node's
+  /// base_speed.
+  Cluster(const net::Topology* topo, std::span<const NodeConfig> per_node,
+          std::vector<std::string> class_names, Rng rng);
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] const net::Topology& topology() const { return *topo_; }
@@ -132,6 +149,19 @@ class Cluster {
   /// the naive-path experiment runs use this to prove it.
   void set_naive_free_scan(bool naive) { naive_free_scan_ = naive; }
 
+  /// Heterogeneity class labels. Homogeneous clusters have none
+  /// (class_count() == 1, the implicit "default" class).
+  [[nodiscard]] bool has_node_classes() const {
+    return !class_names_.empty();
+  }
+  [[nodiscard]] std::size_t class_count() const {
+    return class_names_.empty() ? 1 : class_names_.size();
+  }
+  [[nodiscard]] const std::string& class_name(std::size_t c) const;
+  [[nodiscard]] std::size_t node_class(NodeId id) const {
+    return node(id).class_index;
+  }
+
   [[nodiscard]] std::size_t total_map_slots() const { return total_map_; }
   [[nodiscard]] std::size_t total_reduce_slots() const {
     return total_reduce_;
@@ -153,8 +183,12 @@ class Cluster {
   void note_map_toggle(NodeId id, bool now_free);
   void note_reduce_toggle(NodeId id, bool now_free);
 
+  /// Shared body of both constructors: one resolved NodeConfig per host.
+  void init_nodes(std::span<const NodeConfig> per_node, Rng& rng);
+
   const net::Topology* topo_;
   std::vector<NodeState> nodes_;
+  std::vector<std::string> class_names_;  ///< empty when homogeneous
   std::size_t total_map_ = 0;
   std::size_t total_reduce_ = 0;
   std::size_t busy_map_total_ = 0;

@@ -13,6 +13,8 @@ using mapreduce::jobs_for_reduces;
 PnaScheduler::PnaScheduler(PnaConfig cfg, Rng rng)
     : cfg_(cfg), rng_(std::move(rng)) {
   MRS_REQUIRE(cfg_.p_min >= 0.0 && cfg_.p_min < 1.0);
+  MRS_REQUIRE(cfg_.cost_mix >= 0.0 && cfg_.cost_mix <= 1.0);
+  MRS_REQUIRE(cfg_.reference_bandwidth > 0.0);
 }
 
 void PnaScheduler::set_telemetry(telemetry::Registry* registry) {
@@ -96,7 +98,9 @@ bool PnaScheduler::schedule_map(Engine& engine, JobRun& job, NodeId node) {
   // Fast path: a task with a local replica has cost 0 and therefore P = 1,
   // the maximum any candidate can reach — assign it outright (Sec. II-C:
   // "if the data is available in D_i ... the task is always assigned").
-  {
+  // Only sound for the pure network cost: with a compute term blended in,
+  // a local task on a slow node is no longer free.
+  if (cfg_.cost_mix == 0.0) {
     const std::size_t local = job.next_local_map(node);
     if (local < job.map_count()) {
       telemetry::inc(metrics_.map_local_fastpath);
@@ -120,6 +124,18 @@ bool PnaScheduler::schedule_map(Engine& engine, JobRun& job, NodeId node) {
   // patched double sum is bit-identical to the naive rescan below.
   const bool incremental =
       cfg_.incremental_scoring && cached && job.static_costs_integral();
+  // Combined cost mode: per-node compute speeds enter both sides of the
+  // ratio. The inverse-speed sum over N_m depends only on the free set,
+  // so it is computed once per decision.
+  const double mix = cfg_.cost_mix;
+  double inv_speed_sum = 0.0;
+  double node_speed = 1.0;
+  if (mix > 0.0) {
+    for (NodeId k : n_m) {
+      inv_speed_sum += 1.0 / engine.cluster().node(k).speed_factor;
+    }
+    node_speed = engine.cluster().node(node).speed_factor;
+  }
   {
     telemetry::ScopedTimer score_timer(metrics_.score_wall);
     if (incremental) job.sync_free_map_sums(engine.cluster());
@@ -140,6 +156,21 @@ bool PnaScheduler::schedule_map(Engine& engine, JobRun& job, NodeId node) {
       } else {
         c_ij = engine.map_cost(job, j, node);                     // Line 4
         for (NodeId k : n_m) c_sum += engine.map_cost(job, j, k); // Line 6
+      }
+      if (mix > 0.0) {
+        // Blend into estimated seconds. The distance terms above are
+        // identical across the incremental/naive branches, and the blend
+        // is applied to them with the same scale factors — so the
+        // fast-vs-naive byte identity survives the mix. (Cached branches
+        // carry raw distances, the provider branch bytes x distance.)
+        const double bytes = job.spec().map_tasks[j].input_size;
+        const double net_scale =
+            (cached ? bytes : 1.0) / cfg_.reference_bandwidth;
+        const double comp_scale = bytes / job.spec().map_rate;
+        c_ij = (1.0 - mix) * net_scale * c_ij +
+               mix * comp_scale / node_speed;
+        c_sum = (1.0 - mix) * net_scale * c_sum +
+                mix * comp_scale * inv_speed_sum;
       }
       const double c_ave = c_sum / static_cast<double>(n_m.size());
       const double p = assignment_probability(c_ij, c_ave, cfg_.model);
@@ -185,6 +216,16 @@ bool PnaScheduler::schedule_reduce(Engine& engine, JobRun& job, NodeId node) {
 
   ReduceCostEvaluator eval(engine, job, cfg_.estimator, n_r);
 
+  const double mix = cfg_.cost_mix;
+  double inv_speed_sum = 0.0;
+  double node_speed = 1.0;
+  if (mix > 0.0) {
+    for (NodeId k : n_r) {
+      inv_speed_sum += 1.0 / engine.cluster().node(k).speed_factor;
+    }
+    node_speed = engine.cluster().node(node).speed_factor;
+  }
+
   double best_p = -1.0;
   std::size_t best_task = job.reduce_count();
   std::uint64_t candidates = 0;
@@ -192,8 +233,19 @@ bool PnaScheduler::schedule_reduce(Engine& engine, JobRun& job, NodeId node) {
     telemetry::ScopedTimer score_timer(metrics_.score_wall);
     for (std::size_t f : job.unassigned_reduces()) {
       ++candidates;
-      const double c_if = eval.cost(self_index, f);    // Line 5 (Eq. 3)
-      const double c_ave = eval.average_cost(f);       // Line 7
+      double c_if = eval.cost(self_index, f);    // Line 5 (Eq. 3)
+      double c_ave = eval.average_cost(f);       // Line 7
+      if (mix > 0.0) {
+        // Same blend as the map side: shuffle transfer seconds plus the
+        // sort+reduce compute seconds at the candidate's speed.
+        const double comp_scale =
+            eval.snapshot().total_for(f) / job.spec().reduce_rate;
+        c_if = (1.0 - mix) * c_if / cfg_.reference_bandwidth +
+               mix * comp_scale / node_speed;
+        c_ave = (1.0 - mix) * c_ave / cfg_.reference_bandwidth +
+                mix * comp_scale * inv_speed_sum /
+                    static_cast<double>(n_r.size());
+      }
       const double p = assignment_probability(c_if, c_ave, cfg_.model);
       if (p > best_p) {
         best_p = p;

@@ -48,6 +48,8 @@ std::unique_ptr<mapreduce::TaskScheduler> make_scheduler(
       if (cfg.naive_scheduler_path) pna.incremental_scoring = false;
       return std::make_unique<core::PnaScheduler>(pna, std::move(rng));
     }
+    case SchedulerKind::kUnrelated:
+      return std::make_unique<hetero::UnrelatedScheduler>(cfg.unrelated);
   }
   MRS_REQUIRE(false && "unknown scheduler kind");
   return nullptr;
@@ -62,7 +64,15 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   // Substrates. Note: every workload-shaping stream is split from the root
   // with a scheduler-independent label, so runs differing only in
   // `scheduler` see byte-identical workloads (Fig. 5 pairing).
-  const net::Topology topo = make_topology(cfg);
+  net::Topology topo = make_topology(cfg);
+  // Heterogeneity profile: node -> class assignment on labeled sub-streams
+  // of the root (scheduler-independent, like every workload stream), NIC
+  // scales applied before any consumer reads link capacities.
+  hetero::NodeClassProfile profile;
+  if (cfg.hetero.enabled()) {
+    profile = hetero::NodeClassProfile(cfg.hetero, topo, root);
+    topo.scale_host_link_capacities(profile.link_scales());
+  }
   const bool needs_condition =
       cfg.background.mean_utilization > 0.0 ||
       cfg.background.burst_probability > 0.0 ||
@@ -91,7 +101,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
 
   sim::Simulation simulation;
-  cluster::Cluster cluster(&topo, cfg.node, root.split("cluster"));
+  cluster::Cluster cluster =
+      profile.enabled()
+          ? cluster::Cluster(&topo, profile.node_configs(cfg.node),
+                             profile.class_names(), root.split("cluster"))
+          : cluster::Cluster(&topo, cfg.node, root.split("cluster"));
   if (cfg.naive_scheduler_path) cluster.set_naive_free_scan(true);
   sim::NetworkService network(&simulation, &topo, cond.get());
 
@@ -249,6 +263,15 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     result.admission_outcomes.assign(admission->outcomes().begin(),
                                      admission->outcomes().end());
     result.admission_policy = admission->policy_name();
+  }
+  if (profile.enabled()) {
+    result.node_classes.reserve(profile.class_count());
+    for (std::size_t c = 0; c < profile.class_count(); ++c) {
+      const hetero::NodeClass& nc = profile.cls(c);
+      result.node_classes.push_back({nc.name, profile.class_size(c),
+                                     nc.cpu_speed, nc.map_slots,
+                                     nc.reduce_slots, nc.link_scale});
+    }
   }
   result.telemetry = registry.snapshot();
   if (sampler) result.samples = sampler->series();

@@ -17,6 +17,8 @@
 #include "mrs/cluster/cluster.hpp"
 #include "mrs/control/admission.hpp"
 #include "mrs/core/pna_scheduler.hpp"
+#include "mrs/hetero/node_class.hpp"
+#include "mrs/hetero/unrelated.hpp"
 #include "mrs/mapreduce/engine.hpp"
 #include "mrs/mapreduce/failure_injector.hpp"
 #include "mrs/mapreduce/records.hpp"
@@ -38,6 +40,7 @@ enum class SchedulerKind {
   kLarts,     ///< locality-aware reduce scheduling [4]
   kMinCost,   ///< Quincy-inspired deterministic min-regret matching [20]
   kPna,       ///< the paper's probabilistic network-aware scheduler
+  kUnrelated, ///< greedy min-completion-time on unrelated machines
 };
 
 [[nodiscard]] constexpr const char* to_string(SchedulerKind k) {
@@ -48,6 +51,7 @@ enum class SchedulerKind {
     case SchedulerKind::kLarts: return "larts";
     case SchedulerKind::kMinCost: return "mincost";
     case SchedulerKind::kPna: return "probabilistic";
+    case SchedulerKind::kUnrelated: return "unrelated";
   }
   return "?";
 }
@@ -67,6 +71,12 @@ struct ExperimentConfig {
   BytesPerSec host_link = units::Gbps(1);
   BytesPerSec rack_uplink = units::Gbps(10);
   cluster::NodeConfig node;
+  /// Heterogeneous node classes (empty = the homogeneous cluster above,
+  /// byte-identical to runs predating the subsystem). When enabled, the
+  /// class assignment is drawn on scheduler-independent labeled
+  /// sub-streams, per-node slots/speed/disk come from each node's class,
+  /// and host NIC capacities are scaled by the class link_scale.
+  hetero::HeteroConfig hetero;
 
   // --- background traffic / distance source ---
   net::BackgroundTrafficConfig background;  ///< zero by default
@@ -104,6 +114,7 @@ struct ExperimentConfig {
   sched::CouplingConfig coupling;
   sched::LartsConfig larts;
   sched::MinCostConfig mincost;
+  hetero::UnrelatedConfig unrelated;
 
   /// Disable every incremental scoring structure: the cluster's free-slot
   /// index falls back to a full node scan per query and the PNA scheduler
@@ -134,6 +145,18 @@ struct ExperimentConfig {
   std::string perfetto_path;
 };
 
+/// Composition of one node class as resolved by the experiment runner
+/// (reported so front ends can print/check the drawn assignment without
+/// re-deriving the RNG streams).
+struct NodeClassSummary {
+  std::string name;
+  std::size_t nodes = 0;
+  double cpu_speed = 1.0;
+  std::size_t map_slots = 0;
+  std::size_t reduce_slots = 0;
+  double link_scale = 1.0;
+};
+
 struct ExperimentResult {
   std::string scheduler_name;
   std::vector<mapreduce::TaskRecord> task_records;
@@ -154,6 +177,8 @@ struct ExperimentResult {
   std::string admission_policy;  ///< policy name, "" without a controller
   std::size_t jobs_rejected = 0;
   std::size_t jobs_aborted = 0;
+  /// Per-class cluster composition (empty unless config.hetero enabled).
+  std::vector<NodeClassSummary> node_classes;
 };
 
 /// Run one experiment synchronously.

@@ -1,0 +1,103 @@
+#include "mrs/hetero/node_class.hpp"
+
+#include "mrs/common/strfmt.hpp"
+
+namespace mrs::hetero {
+
+void validate(const HeteroConfig& cfg) {
+  double weight_sum = 0.0;
+  for (const NodeClass& c : cfg.classes) {
+    MRS_REQUIRE(!c.name.empty());
+    MRS_REQUIRE(c.weight > 0.0);
+    MRS_REQUIRE(c.cpu_speed > 0.0);
+    MRS_REQUIRE(c.map_slots >= 1);
+    MRS_REQUIRE(c.disk_rate > 0.0);
+    MRS_REQUIRE(c.link_scale > 0.0);
+    weight_sum += c.weight;
+    // Duplicate names would fold two classes into one telemetry/summary
+    // bucket and hide a config mistake.
+    for (const NodeClass& other : cfg.classes) {
+      MRS_REQUIRE((&c == &other || c.name != other.name) &&
+                  "duplicate class name");
+    }
+  }
+  // "Summing sanely": positive and finite, so the cumulative-weight draw
+  // below is well defined.
+  MRS_REQUIRE(cfg.classes.empty() ||
+              (weight_sum > 0.0 && weight_sum < 1e12));
+}
+
+NodeClassProfile::NodeClassProfile(const HeteroConfig& cfg,
+                                   const net::Topology& topo,
+                                   const Rng& root)
+    : classes_(cfg.classes) {
+  validate(cfg);
+  MRS_REQUIRE(!classes_.empty());
+  const std::size_t nodes = topo.host_count();
+  assignment_.resize(nodes, 0);
+  counts_.assign(classes_.size(), 0);
+
+  double weight_sum = 0.0;
+  for (const NodeClass& c : classes_) weight_sum += c.weight;
+
+  for (std::size_t i = 0; i < nodes; ++i) {
+    std::size_t chosen = 0;
+    if (cfg.assign == AssignMode::kByRack) {
+      chosen = topo.rack_of(NodeId(i)).value() % classes_.size();
+    } else {
+      // Labeled sub-stream per node: node i's class survives changes to
+      // the node count, class list order of *other* draws, or any other
+      // config (the tenant-stream invariance contract).
+      Rng draw = root.split(strf("hetero-node%zu-class", i));
+      const double u = draw.uniform01() * weight_sum;
+      double acc = 0.0;
+      for (std::size_t c = 0; c < classes_.size(); ++c) {
+        acc += classes_[c].weight;
+        if (u < acc) {
+          chosen = c;
+          break;
+        }
+        chosen = c;  // u == weight_sum rounding: last class
+      }
+    }
+    assignment_[i] = chosen;
+    ++counts_[chosen];
+  }
+}
+
+std::vector<cluster::NodeConfig> NodeClassProfile::node_configs(
+    const cluster::NodeConfig& base) const {
+  MRS_REQUIRE(enabled());
+  std::vector<cluster::NodeConfig> configs;
+  configs.reserve(assignment_.size());
+  for (std::size_t i = 0; i < assignment_.size(); ++i) {
+    const NodeClass& c = classes_[assignment_[i]];
+    cluster::NodeConfig nc = base;
+    nc.map_slots = c.map_slots;
+    nc.reduce_slots = c.reduce_slots;
+    nc.disk_rate = c.disk_rate;
+    nc.base_speed = c.cpu_speed;
+    nc.class_index = assignment_[i];
+    configs.push_back(nc);
+  }
+  return configs;
+}
+
+std::vector<std::string> NodeClassProfile::class_names() const {
+  std::vector<std::string> names;
+  names.reserve(classes_.size());
+  for (const NodeClass& c : classes_) names.push_back(c.name);
+  return names;
+}
+
+std::vector<double> NodeClassProfile::link_scales() const {
+  MRS_REQUIRE(enabled());
+  std::vector<double> scales;
+  scales.reserve(assignment_.size());
+  for (const std::size_t c : assignment_) {
+    scales.push_back(classes_[c].link_scale);
+  }
+  return scales;
+}
+
+}  // namespace mrs::hetero

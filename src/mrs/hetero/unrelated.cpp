@@ -1,0 +1,120 @@
+#include "mrs/hetero/unrelated.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mrs::hetero {
+
+using mapreduce::Engine;
+using mapreduce::JobRun;
+using mapreduce::jobs_for_maps;
+using mapreduce::jobs_for_reduces;
+
+UnrelatedScheduler::UnrelatedScheduler(UnrelatedConfig cfg) : cfg_(cfg) {
+  MRS_REQUIRE(cfg_.reference_bandwidth > 0.0);
+}
+
+void UnrelatedScheduler::set_telemetry(telemetry::Registry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  telemetry::Registry& r = *registry;
+  metrics_.map_assignments = &r.counter("unrelated.map.assignments");
+  metrics_.map_candidates = &r.counter("unrelated.map.candidates_scanned");
+  metrics_.reduce_assignments = &r.counter("unrelated.reduce.assignments");
+  metrics_.reduce_candidates =
+      &r.counter("unrelated.reduce.candidates_scanned");
+  metrics_.map_est_seconds =
+      &r.histogram("unrelated.map.est_seconds", 0.0, 120.0, 24);
+  metrics_.reduce_est_seconds =
+      &r.histogram("unrelated.reduce.est_seconds", 0.0, 600.0, 24);
+}
+
+void UnrelatedScheduler::on_heartbeat(Engine& engine, NodeId node) {
+  while (engine.map_budget_left() > 0 &&
+         engine.cluster().node(node).free_map_slots() > 0) {
+    if (!try_map(engine, node)) break;
+  }
+  while (engine.reduce_budget_left() > 0 &&
+         engine.cluster().node(node).free_reduce_slots() > 0) {
+    if (!try_reduce(engine, node)) break;
+  }
+}
+
+bool UnrelatedScheduler::try_map(Engine& engine, NodeId node) {
+  const double speed = engine.cluster().node(node).speed_factor;
+  MRS_ASSERT(speed > 0.0);
+  for (JobRun* job : jobs_for_maps(engine, cfg_.job_order)) {
+    const double map_rate = job->spec().map_rate;
+    double best_time = std::numeric_limits<double>::max();
+    std::size_t best_task = job->map_count();
+    std::uint64_t candidates = 0;
+    for (std::size_t j : job->unassigned_maps()) {
+      ++candidates;
+      // Eq. 1's transfer cost in seconds plus the speed-scaled compute
+      // time: the p_ij of the unrelated-machines model.
+      const double bytes = job->spec().map_tasks[j].input_size;
+      const double net = engine.map_cost(*job, j, node) /
+                         cfg_.reference_bandwidth;
+      const double compute = bytes / (map_rate * speed);
+      const double p_ij = net + compute;
+      if (p_ij < best_time) {
+        best_time = p_ij;
+        best_task = j;
+      }
+    }
+    telemetry::inc(metrics_.map_candidates, candidates);
+    if (best_task == job->map_count()) continue;
+    telemetry::inc(metrics_.map_assignments);
+    telemetry::observe(metrics_.map_est_seconds, best_time);
+    engine.assign_map(*job, best_task, node);
+    return true;
+  }
+  return false;
+}
+
+bool UnrelatedScheduler::try_reduce(Engine& engine, NodeId node) {
+  const double speed = engine.cluster().node(node).speed_factor;
+  for (JobRun* job : jobs_for_reduces(engine, cfg_.job_order)) {
+    if (cfg_.forbid_colocated_reduces && job->has_reduce_on(node)) continue;
+    const auto unassigned = job->unassigned_reduces();
+    if (unassigned.empty()) continue;
+
+    const auto& free_nodes = engine.cluster().nodes_with_free_reduce_slots();
+    core::ReduceCostEvaluator eval(engine, *job,
+                                   core::EstimatorMode::kProjected,
+                                   free_nodes);
+    const auto self = std::lower_bound(free_nodes.begin(), free_nodes.end(),
+                                       node);
+    MRS_ASSERT(self != free_nodes.end() && *self == node);
+    const auto self_index = static_cast<std::size_t>(self -
+                                                     free_nodes.begin());
+
+    const double reduce_rate = job->spec().reduce_rate;
+    double best_time = std::numeric_limits<double>::max();
+    std::size_t best_task = job->reduce_count();
+    std::uint64_t candidates = 0;
+    for (std::size_t f : unassigned) {
+      ++candidates;
+      const double net = eval.cost(self_index, f) /
+                         cfg_.reference_bandwidth;
+      const double compute = eval.snapshot().total_for(f) /
+                             (reduce_rate * speed);
+      const double p_if = net + compute;
+      if (p_if < best_time) {
+        best_time = p_if;
+        best_task = f;
+      }
+    }
+    telemetry::inc(metrics_.reduce_candidates, candidates);
+    if (best_task == job->reduce_count()) continue;
+    telemetry::inc(metrics_.reduce_assignments);
+    telemetry::observe(metrics_.reduce_est_seconds, best_time);
+    engine.assign_reduce(*job, best_task, node);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mrs::hetero

@@ -41,6 +41,8 @@ void Engine::set_scheduler(TaskScheduler* scheduler) {
 void Engine::set_telemetry(telemetry::Registry* registry) {
   MRS_REQUIRE(!started_);
   blacklist_.set_telemetry(registry);
+  registry_ = registry;
+  class_metrics_.clear();
   if (registry == nullptr) {
     metrics_ = Metrics{};
     return;
@@ -70,6 +72,27 @@ void Engine::set_telemetry(telemetry::Registry* registry) {
     metrics_.reduce_locality[l] = &r.counter(kReduceLocality[l]);
   }
   metrics_.heartbeat_wall = &r.timer("engine.heartbeat_wall");
+}
+
+Engine::ClassMetrics* Engine::class_metrics_for(NodeId node) {
+  if (registry_ == nullptr || !cluster_->has_node_classes()) return nullptr;
+  if (class_metrics_.empty()) {
+    class_metrics_.resize(cluster_->class_count());
+  }
+  const std::size_t c = cluster_->node(node).class_index;
+  ClassMetrics& m = class_metrics_[c];
+  if (m.maps_assigned == nullptr) {
+    const char* name = cluster_->class_name(c).c_str();
+    m.maps_assigned =
+        &registry_->counter(strf("hetero.class.%s.maps_assigned", name));
+    m.maps_finished =
+        &registry_->counter(strf("hetero.class.%s.maps_finished", name));
+    m.reduces_assigned =
+        &registry_->counter(strf("hetero.class.%s.reduces_assigned", name));
+    m.reduces_finished =
+        &registry_->counter(strf("hetero.class.%s.reduces_finished", name));
+  }
+  return &m;
 }
 
 JobRun& Engine::submit(JobSpec spec, Rng rng) {
@@ -341,6 +364,9 @@ void Engine::assign_map(JobRun& job, std::size_t j, NodeId node) {
   job.note_map_assigned();
   telemetry::inc(metrics_.maps_assigned);
   telemetry::inc(metrics_.map_locality[static_cast<int>(s.locality)]);
+  if (ClassMetrics* cm = class_metrics_for(node)) {
+    telemetry::inc(cm->maps_assigned);
+  }
   if (job.first_task_start < 0.0) {
     job.first_task_start = now();
     if (admission_ != nullptr && job.admitted_at >= 0.0) {
@@ -507,6 +533,9 @@ void Engine::finish_map(JobRun& job, std::size_t j, bool backup) {
   job.note_map_finished();
   job.record_map_duration(s.finished_at - s.assigned_at);
   telemetry::inc(metrics_.maps_finished);
+  if (ClassMetrics* cm = class_metrics_for(s.node)) {
+    telemetry::inc(cm->maps_finished);
+  }
   record_task(job, /*is_map=*/true, j);
   trace(sim::TraceEventKind::kMapFinished,
         strf("%s/map/%zu", job.spec().name.c_str(), j),
@@ -634,6 +663,9 @@ void Engine::assign_reduce(JobRun& job, std::size_t f, NodeId node) {
   job.note_reduce_assigned();
   telemetry::inc(metrics_.reduces_assigned);
   telemetry::inc(metrics_.reduce_locality[static_cast<int>(r.locality)]);
+  if (ClassMetrics* cm = class_metrics_for(node)) {
+    telemetry::inc(cm->reduces_assigned);
+  }
   if (job.first_task_start < 0.0) {
     job.first_task_start = now();
     if (admission_ != nullptr && job.admitted_at >= 0.0) {
@@ -812,6 +844,9 @@ void Engine::finish_reduce(JobRun& job, std::size_t f) {
 
   job.note_reduce_finished();
   telemetry::inc(metrics_.reduces_finished);
+  if (ClassMetrics* cm = class_metrics_for(r.node)) {
+    telemetry::inc(cm->reduces_finished);
+  }
   record_task(job, /*is_map=*/false, f);
   trace(sim::TraceEventKind::kReduceFinished,
         strf("%s/reduce/%zu", job.spec().name.c_str(), f),

@@ -289,6 +289,21 @@ class Engine {
     telemetry::TimerStat* heartbeat_wall = nullptr;
   };
 
+  /// Per-heterogeneity-class lifecycle counters
+  /// ("hetero.class.<name>.*"), created lazily on the first event touching
+  /// a class — the control plane's per-tenant counter pattern. Only
+  /// materialized when the cluster carries named node classes, so
+  /// homogeneous runs register nothing extra.
+  struct ClassMetrics {
+    telemetry::Counter* maps_assigned = nullptr;
+    telemetry::Counter* maps_finished = nullptr;
+    telemetry::Counter* reduces_assigned = nullptr;
+    telemetry::Counter* reduces_finished = nullptr;
+  };
+  /// Null when uninstrumented or homogeneous; otherwise the (lazily
+  /// filled) ClassMetrics of `node`'s class.
+  ClassMetrics* class_metrics_for(NodeId node);
+
   sim::Simulation* simulation_;
   cluster::Cluster* cluster_;
   const dfs::BlockStore* blocks_;
@@ -301,6 +316,8 @@ class Engine {
   control::AdmissionController* admission_ = nullptr;
   control::NodeBlacklist blacklist_;
   Metrics metrics_;
+  telemetry::Registry* registry_ = nullptr;  ///< for lazy class counters
+  std::vector<ClassMetrics> class_metrics_;  ///< indexed by class
   cluster::HeartbeatService heartbeats_;
   std::size_t failures_injected_ = 0;
   std::size_t speculative_attempts_ = 0;

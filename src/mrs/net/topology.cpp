@@ -80,6 +80,19 @@ void Topology::build_routes() {
   }
 }
 
+void Topology::scale_host_link_capacities(
+    std::span<const double> per_host_scale) {
+  MRS_REQUIRE(per_host_scale.size() == hosts_.size());
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    const double scale = per_host_scale[h];
+    MRS_REQUIRE(scale > 0.0);
+    if (scale == 1.0) continue;
+    for (const Adjacency& adj : adjacency_[hosts_[h]]) {
+      links_[adj.link.value()].capacity *= scale;
+    }
+  }
+}
+
 NodeId TopologyBuilder::add_host(std::string name, RackId rack) {
   const NodeId id(topo_.hosts_.size());
   topo_.hosts_.push_back(topo_.vertices_.size());

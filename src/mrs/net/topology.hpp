@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -97,6 +98,14 @@ class Topology {
   [[nodiscard]] std::size_t hops(NodeId src, NodeId dst) const {
     return path(src, dst).size();
   }
+
+  /// Scale each host's access-link capacity by `per_host_scale[host]`
+  /// (heterogeneous NIC generations; hetero::NodeClassProfile supplies
+  /// the factors). Routing is hop-based and unaffected; call before any
+  /// flow/link-condition model reads the capacities. Scales of exactly
+  /// 1.0 leave the link bytes untouched, so an all-ones profile is a
+  /// provable no-op.
+  void scale_host_link_capacities(std::span<const double> per_host_scale);
 
  private:
   friend class TopologyBuilder;

@@ -188,6 +188,75 @@ TEST(Cluster, NoSpreadMeansUnitSpeed) {
   }
 }
 
+TEST(Cluster, SpeedDrawsUseLabeledStreams) {
+  // Each node's jitter comes from rng.split("node<i>-speed"), so the draw
+  // for node i is a pure function of (seed, i, spread) — growing the
+  // cluster must not reshuffle the factors of existing nodes.
+  NodeConfig cfg;
+  cfg.speed_spread = 0.2;
+  const auto small_topo = net::make_single_rack(4);
+  const auto large_topo = net::make_single_rack(16);
+  const Cluster small(&small_topo, cfg, Rng(5));
+  const Cluster large(&large_topo, cfg, Rng(5));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(small.node(NodeId(i)).speed_factor,
+                     large.node(NodeId(i)).speed_factor)
+        << "node " << i;
+  }
+}
+
+TEST(Cluster, SpeedDrawsArePinned) {
+  // Regression pin for the labeled speed streams: these literals are the
+  // factors drawn for seed 5, spread 0.2. A change here means every
+  // seeded experiment with speed_spread > 0 silently re-randomized.
+  NodeConfig cfg;
+  cfg.speed_spread = 0.2;
+  const auto topo = net::make_single_rack(3);
+  const Cluster c(&topo, cfg, Rng(5));
+  const double expected[3] = {0.91699959375779783, 0.89495417224712825,
+                              1.0112635133515473};
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(c.node(NodeId(i)).speed_factor, expected[i])
+        << "node " << i;
+  }
+}
+
+TEST(Cluster, PerNodeConfigsCarryClassParameters) {
+  const auto topo = net::make_single_rack(3);
+  NodeConfig fast;
+  fast.map_slots = 8;
+  fast.reduce_slots = 4;
+  fast.base_speed = 2.0;
+  fast.class_index = 0;
+  NodeConfig slow;
+  slow.map_slots = 1;
+  slow.reduce_slots = 1;
+  slow.base_speed = 0.5;
+  slow.class_index = 1;
+  const std::vector<NodeConfig> per_node = {fast, slow, fast};
+  Cluster c(&topo, per_node, {"fast", "slow"}, Rng(1));
+  EXPECT_TRUE(c.has_node_classes());
+  EXPECT_EQ(c.class_count(), 2u);
+  EXPECT_EQ(c.class_name(0), "fast");
+  EXPECT_EQ(c.class_name(1), "slow");
+  EXPECT_EQ(c.total_map_slots(), 17u);
+  EXPECT_EQ(c.total_reduce_slots(), 9u);
+  EXPECT_EQ(c.node_class(NodeId(1)), 1u);
+  // base_speed with zero spread is exact — no jitter draw is consumed.
+  EXPECT_DOUBLE_EQ(c.node(NodeId(0)).speed_factor, 2.0);
+  EXPECT_DOUBLE_EQ(c.node(NodeId(1)).speed_factor, 0.5);
+  EXPECT_DOUBLE_EQ(c.node(NodeId(2)).speed_factor, 2.0);
+}
+
+TEST(Cluster, HomogeneousClusterReportsSingleDefaultClass) {
+  const auto topo = net::make_single_rack(2);
+  const Cluster c(&topo, NodeConfig{}, Rng(1));
+  EXPECT_FALSE(c.has_node_classes());
+  EXPECT_EQ(c.class_count(), 1u);
+  EXPECT_EQ(c.class_name(0), "default");
+  EXPECT_EQ(c.node_class(NodeId(1)), 0u);
+}
+
 TEST(Heartbeat, OneBeatPerNodePerInterval) {
   sim::Simulation s;
   HeartbeatService hb(&s, 4, 3.0);

@@ -264,6 +264,103 @@ TEST(MultiTenant, WeightedFairOrderStillDrains) {
   ASSERT_EQ(r.steady.tenants.size(), 2u);
 }
 
+hetero::HeteroConfig fast_slow_classes() {
+  hetero::NodeClass fast;
+  fast.name = "fast";
+  fast.cpu_speed = 2.0;
+  fast.map_slots = 6;
+  fast.reduce_slots = 3;
+  fast.link_scale = 2.0;
+  hetero::NodeClass slow;
+  slow.name = "slow";
+  slow.cpu_speed = 0.5;
+  slow.map_slots = 2;
+  slow.reduce_slots = 1;
+  slow.link_scale = 0.5;
+  hetero::HeteroConfig h;
+  h.classes = {fast, slow};
+  return h;
+}
+
+TEST(Heterogeneity, SingleDefaultClassIsNoop) {
+  // A one-class profile that restates the homogeneous NodeConfig must be a
+  // provable no-op: enabling the subsystem without introducing any actual
+  // heterogeneity reproduces the seed behavior byte-identically (the class
+  // draw streams are labeled splits the baseline never touches, the speed
+  // factor is exactly 1.0, and a 1.0 link scale never rewrites capacity).
+  for (const auto kind : {SchedulerKind::kPna, SchedulerKind::kFair}) {
+    ExperimentConfig plain = paper_config(batch_jobs(), kind, 3);
+    plain.nodes = 12;
+    ExperimentConfig wrapped = plain;
+    hetero::NodeClass dflt;  // mirrors the paper_config NodeConfig
+    dflt.name = "default";
+    dflt.cpu_speed = 1.0;
+    dflt.map_slots = plain.node.map_slots;
+    dflt.reduce_slots = plain.node.reduce_slots;
+    dflt.disk_rate = plain.node.disk_rate;
+    dflt.link_scale = 1.0;
+    wrapped.hetero.classes = {dflt};
+    const auto base = run_experiment(plain);
+    const auto hetero_run = run_experiment(wrapped);
+    EXPECT_TRUE(base.completed);
+    expect_identical_results(base, hetero_run);
+    // The wrapped run still reports its (single-class) composition.
+    ASSERT_EQ(hetero_run.node_classes.size(), 1u);
+    EXPECT_EQ(hetero_run.node_classes[0].nodes, 12u);
+    EXPECT_TRUE(base.node_classes.empty());
+  }
+}
+
+TEST(Heterogeneity, FastVsNaiveIdenticalOnHeteroCluster) {
+  // The incremental-structure equivalence contract extends to
+  // heterogeneous clusters: per-class slot counts change the free-set
+  // walks and the cost-mix blend feeds speed factors into the scores, but
+  // placements must stay byte-identical to the naive path.
+  struct Case {
+    SchedulerKind kind;
+    double cost_mix;
+  };
+  for (const auto& [kind, cost_mix] :
+       {Case{SchedulerKind::kPna, 0.0}, Case{SchedulerKind::kPna, 0.5},
+        Case{SchedulerKind::kPna, 1.0},
+        Case{SchedulerKind::kUnrelated, 0.0},
+        Case{SchedulerKind::kMinCost, 0.0}}) {
+    ExperimentConfig cfg = paper_config(batch_jobs(), kind, 2);
+    cfg.nodes = 12;
+    cfg.hetero = fast_slow_classes();
+    cfg.pna.cost_mix = cost_mix;
+    ExperimentConfig naive_cfg = cfg;
+    naive_cfg.naive_scheduler_path = true;
+    const auto fast = run_experiment(cfg);
+    const auto naive = run_experiment(naive_cfg);
+    EXPECT_TRUE(fast.completed)
+        << to_string(kind) << " mix=" << cost_mix;
+    expect_identical_results(naive, fast);
+  }
+}
+
+TEST(Heterogeneity, SerialAndParallelHeteroStreamsIdentical) {
+  // Streamed heterogeneous runs obey the same determinism contract as the
+  // tenant streams: running next to an unrelated concurrent experiment
+  // must not perturb a single record.
+  StreamConfig cfg = two_tenant_stream(SchedulerKind::kPna, 13);
+  cfg.base.hetero = fast_slow_classes();
+  const auto serial = run_stream_experiment(cfg);
+
+  StreamResult threaded, other;
+  std::thread worker([&] { threaded = run_stream_experiment(cfg); });
+  std::thread noise([&] {
+    StreamConfig noisy = two_tenant_stream(SchedulerKind::kUnrelated, 14);
+    noisy.base.hetero = fast_slow_classes();
+    other = run_stream_experiment(noisy);
+  });
+  worker.join();
+  noise.join();
+  expect_identical_results(serial.run, threaded.run);
+  expect_identical_tenant_summaries(serial.steady, threaded.steady);
+  EXPECT_TRUE(other.run.completed);
+}
+
 std::string param_name(
     const ::testing::TestParamInfo<std::tuple<SchedulerKind, std::uint64_t>>&
         info) {

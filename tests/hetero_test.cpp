@@ -1,0 +1,232 @@
+// Tests for the heterogeneity subsystem: node-class profiles (labeled
+// draw streams, weighted proportions, by-rack alignment), config
+// validation, and the unrelated-machines greedy baseline.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mrs/driver/experiment.hpp"
+#include "mrs/hetero/node_class.hpp"
+#include "mrs/hetero/unrelated.hpp"
+
+namespace mrs::hetero {
+namespace {
+
+HeteroConfig fast_slow(AssignMode mode = AssignMode::kWeighted) {
+  NodeClass fast;
+  fast.name = "fast";
+  fast.weight = 1.0;
+  fast.cpu_speed = 4.0;
+  fast.map_slots = 6;
+  fast.reduce_slots = 3;
+  fast.link_scale = 2.0;
+  NodeClass slow;
+  slow.name = "slow";
+  slow.weight = 1.0;
+  slow.cpu_speed = 0.25;
+  slow.map_slots = 2;
+  slow.reduce_slots = 1;
+  slow.link_scale = 0.5;
+  HeteroConfig cfg;
+  cfg.classes = {fast, slow};
+  cfg.assign = mode;
+  return cfg;
+}
+
+TEST(HeteroValidate, RejectsBadConfigs) {
+  auto broken = [](auto mutate) {
+    HeteroConfig cfg = fast_slow();
+    mutate(cfg);
+    return cfg;
+  };
+  EXPECT_DEATH(validate(broken([](auto& c) { c.classes[0].name = ""; })),
+               "name");
+  EXPECT_DEATH(validate(broken([](auto& c) { c.classes[1].name = "fast"; })),
+               "duplicate");
+  EXPECT_DEATH(validate(broken([](auto& c) { c.classes[0].weight = 0.0; })),
+               "weight");
+  EXPECT_DEATH(validate(broken([](auto& c) { c.classes[0].cpu_speed = -1.0; })),
+               "cpu_speed");
+  EXPECT_DEATH(validate(broken([](auto& c) { c.classes[1].map_slots = 0; })),
+               "map_slots");
+  EXPECT_DEATH(validate(broken([](auto& c) { c.classes[1].disk_rate = 0.0; })),
+               "disk_rate");
+  EXPECT_DEATH(validate(broken([](auto& c) { c.classes[0].link_scale = 0.0; })),
+               "link_scale");
+}
+
+TEST(NodeClassProfile, DefaultConstructedIsDisabled) {
+  NodeClassProfile p;
+  EXPECT_FALSE(p.enabled());
+  EXPECT_EQ(p.node_count(), 0u);
+}
+
+TEST(NodeClassProfile, WeightedDrawIsDeterministic) {
+  const auto topo = net::make_single_rack(40);
+  const Rng root(7);
+  const NodeClassProfile a(fast_slow(), topo, root);
+  const NodeClassProfile b(fast_slow(), topo, root);
+  ASSERT_EQ(a.node_count(), 40u);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(a.class_index(NodeId(i)), b.class_index(NodeId(i)));
+  }
+  EXPECT_EQ(a.class_size(0) + a.class_size(1), 40u);
+}
+
+TEST(NodeClassProfile, WeightedProportionsFollowWeights) {
+  // 3:1 weights over 400 nodes: the minority class should land well within
+  // [50, 150] draws (mean 100, sd ~8.7).
+  HeteroConfig cfg = fast_slow();
+  cfg.classes[0].weight = 3.0;
+  cfg.classes[1].weight = 1.0;
+  const auto topo = net::make_single_rack(400);
+  const NodeClassProfile p(cfg, topo, Rng(11));
+  EXPECT_GT(p.class_size(1), 50u);
+  EXPECT_LT(p.class_size(1), 150u);
+}
+
+TEST(NodeClassProfile, LabeledStreamsMakeDrawsInvariantToNodeCount) {
+  // Node i's class is drawn from root.split("hetero-node<i>-class"), so
+  // growing the cluster must not reshuffle existing nodes.
+  const auto small = net::make_single_rack(10);
+  const auto large = net::make_single_rack(30);
+  const Rng root(42);
+  const NodeClassProfile ps(fast_slow(), small, root);
+  const NodeClassProfile pl(fast_slow(), large, root);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(ps.class_index(NodeId(i)), pl.class_index(NodeId(i)))
+        << "node " << i;
+  }
+}
+
+TEST(NodeClassProfile, ByRackAssignsWholeRacks) {
+  net::TreeTopologyConfig tree;
+  tree.racks = 4;
+  tree.hosts_per_rack = 5;
+  const auto topo = net::make_multi_rack_tree(tree);
+  const NodeClassProfile p(fast_slow(AssignMode::kByRack), topo, Rng(1));
+  ASSERT_EQ(p.node_count(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto rack = topo.rack_of(NodeId(i));
+    EXPECT_EQ(p.class_index(NodeId(i)), rack.value() % 2) << "node " << i;
+  }
+  EXPECT_EQ(p.class_size(0), 10u);
+  EXPECT_EQ(p.class_size(1), 10u);
+}
+
+TEST(NodeClassProfile, ResolvesPerNodeConfigsAndLinkScales) {
+  const auto topo = net::make_single_rack(12);
+  const NodeClassProfile p(fast_slow(), topo, Rng(3));
+  cluster::NodeConfig base;
+  base.speed_spread = 0.1;
+  const auto configs = p.node_configs(base);
+  const auto scales = p.link_scales();
+  ASSERT_EQ(configs.size(), 12u);
+  ASSERT_EQ(scales.size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    const NodeClass& c = p.node_class(NodeId(i));
+    EXPECT_EQ(configs[i].map_slots, c.map_slots);
+    EXPECT_EQ(configs[i].reduce_slots, c.reduce_slots);
+    EXPECT_DOUBLE_EQ(configs[i].base_speed, c.cpu_speed);
+    EXPECT_DOUBLE_EQ(configs[i].disk_rate, c.disk_rate);
+    EXPECT_EQ(configs[i].class_index, p.class_index(NodeId(i)));
+    EXPECT_DOUBLE_EQ(configs[i].speed_spread, 0.1);  // from base
+    EXPECT_DOUBLE_EQ(scales[i], c.link_scale);
+  }
+}
+
+driver::ExperimentConfig hetero_batch(driver::SchedulerKind kind,
+                                      std::uint64_t seed) {
+  using mapreduce::JobKind;
+  std::vector<workload::JobDescription> jobs = {
+      {"01", "Wordcount_small", JobKind::kWordcount, 1, 14, 6},
+      {"02", "Terasort_small", JobKind::kTerasort, 1, 12, 6},
+      {"03", "Grep_small", JobKind::kGrep, 1, 10, 4},
+  };
+  driver::ExperimentConfig cfg =
+      driver::paper_config(std::move(jobs), kind, seed);
+  cfg.nodes = 12;
+  cfg.hetero = fast_slow();
+  return cfg;
+}
+
+TEST(UnrelatedScheduler, DrainsHeterogeneousBatch) {
+  const auto r =
+      run_experiment(hetero_batch(driver::SchedulerKind::kUnrelated, 5));
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.scheduler_name, "unrelated");
+  ASSERT_EQ(r.node_classes.size(), 2u);
+  EXPECT_EQ(r.node_classes[0].name, "fast");
+  EXPECT_EQ(r.node_classes[0].nodes + r.node_classes[1].nodes, 12u);
+  // Every finished task is attributed to exactly one class.
+  const auto fast_maps = r.telemetry.counter("hetero.class.fast.maps_finished");
+  const auto slow_maps = r.telemetry.counter("hetero.class.slow.maps_finished");
+  std::size_t maps = 0;
+  for (const auto& t : r.task_records) maps += t.is_map ? 1 : 0;
+  EXPECT_EQ(fast_maps + slow_maps, maps);
+  EXPECT_GT(r.telemetry.counter("unrelated.map.assignments"), 0u);
+  EXPECT_GT(r.telemetry.counter("unrelated.reduce.assignments"), 0u);
+}
+
+TEST(UnrelatedScheduler, FastClassFinishesMoreWorkUnderBacklog) {
+  // Same slot counts, 20x speed gap, sustained map backlog: fast nodes
+  // turn slots over faster and must finish several times more maps per
+  // node. (A drained batch with spare slots would not show this — the
+  // 1-map-per-heartbeat budget caps fast nodes too, so the test keeps the
+  // backlog deep.) By-rack assignment makes the 3/3 split deterministic.
+  using mapreduce::JobKind;
+  std::vector<workload::JobDescription> jobs = {
+      {"01", "Wordcount_big", JobKind::kWordcount, 1, 60, 8},
+      {"02", "Grep_big", JobKind::kGrep, 1, 60, 8},
+  };
+  driver::ExperimentConfig cfg = driver::paper_config(
+      std::move(jobs), driver::SchedulerKind::kUnrelated, 8);
+  cfg.nodes = 6;
+  cfg.racks = 2;
+  HeteroConfig h = fast_slow(AssignMode::kByRack);
+  for (auto& c : h.classes) {
+    c.map_slots = 4;
+    c.reduce_slots = 2;
+    c.link_scale = 1.0;
+  }
+  h.classes[0].cpu_speed = 2.0;
+  h.classes[1].cpu_speed = 0.1;
+  cfg.hetero = h;
+  const auto r = run_experiment(cfg);
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.node_classes.size(), 2u);
+  ASSERT_EQ(r.node_classes[0].nodes, 3u);
+  ASSERT_EQ(r.node_classes[1].nodes, 3u);
+  const auto fast_maps = r.telemetry.counter("hetero.class.fast.maps_finished");
+  const auto slow_maps = r.telemetry.counter("hetero.class.slow.maps_finished");
+  EXPECT_GT(fast_maps, 2 * slow_maps);
+}
+
+TEST(PnaCostMix, CombinedCostDrainsAndDiffersFromNetworkOnly) {
+  driver::ExperimentConfig base = hetero_batch(driver::SchedulerKind::kPna, 6);
+  driver::ExperimentConfig mixed = base;
+  mixed.pna.cost_mix = 0.5;
+  const auto net_only = run_experiment(base);
+  const auto blended = run_experiment(mixed);
+  EXPECT_TRUE(net_only.completed);
+  EXPECT_TRUE(blended.completed);
+  // The compute term steers placements, so the two runs genuinely diverge.
+  bool differs = net_only.task_records.size() != blended.task_records.size();
+  for (std::size_t i = 0;
+       !differs && i < net_only.task_records.size(); ++i) {
+    differs = net_only.task_records[i].node != blended.task_records[i].node;
+  }
+  EXPECT_TRUE(differs);
+  // cost_mix > 0 must disable the local fast path (a local replica on a
+  // slow node is no longer free).
+  EXPECT_EQ(blended.telemetry.counter("pna.map.local_fastpath"), 0u);
+  EXPECT_GT(net_only.telemetry.counter("pna.map.local_fastpath"), 0u);
+}
+
+TEST(PnaCostMix, RejectsOutOfRangeMix) {
+  EXPECT_DEATH(core::PnaScheduler(core::PnaConfig{.cost_mix = 1.5}, Rng(1)),
+               "cost_mix");
+}
+
+}  // namespace
+}  // namespace mrs::hetero

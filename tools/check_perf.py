@@ -1,15 +1,19 @@
 #!/usr/bin/env python3
-"""Perf smoke gate over bench_micro_scheduler's saturated-heartbeat case.
+"""Perf smoke gate over bench_micro_scheduler's saturated-heartbeat cases.
 
 Usage: check_perf.py <bench_json> <baseline_json>
 
-Reads the google-benchmark JSON for BM_PnaHeartbeatSaturated/{0,1}
-(naive / incremental scoring) and enforces two gates:
+Reads the google-benchmark JSON for each gated benchmark pair
+(naive Arg(0) / incremental Arg(1) scoring) and enforces two gates
+per pair:
 
   1. machine-independent: the incremental path must deliver at least
      2x the naive heartbeats/sec on the same machine, same run;
   2. machine-local: incremental heartbeats/sec must not regress more
      than 20% below the checked-in baseline.
+
+Gated pairs: the homogeneous saturated scan (BM_PnaHeartbeatSaturated)
+and the heterogeneous-cluster blended-cost scan (BM_PnaHeartbeatHetero).
 
 PNATS_PERF_REGEN=1 (or a missing baseline file) rewrites the baseline
 from the current run instead of comparing — do this once per machine
@@ -21,6 +25,9 @@ import sys
 
 MIN_RATIO = 2.0         # incremental must be >= 2x naive
 MAX_REGRESSION = 0.20   # and within 20% of the checked-in baseline
+
+# Benchmark families gated as naive(/0) vs incremental(/1) pairs.
+PAIRS = ["BM_PnaHeartbeatSaturated", "BM_PnaHeartbeatHetero"]
 
 
 def items_per_second(report, name):
@@ -36,35 +43,43 @@ def main():
     bench_path, baseline_path = sys.argv[1], sys.argv[2]
     with open(bench_path) as f:
         report = json.load(f)
-    naive = items_per_second(report, "BM_PnaHeartbeatSaturated/0")
-    incremental = items_per_second(report, "BM_PnaHeartbeatSaturated/1")
 
-    ratio = incremental / naive if naive > 0 else float("inf")
-    print(f"check_perf: naive {naive:,.0f} hb/s, "
-          f"incremental {incremental:,.0f} hb/s, ratio {ratio:.1f}x")
-    if ratio < MIN_RATIO:
-        sys.exit(f"check_perf: FAIL - incremental/naive ratio {ratio:.2f}x "
-                 f"is below the required {MIN_RATIO:.1f}x")
+    incremental = {}
+    for family in PAIRS:
+        naive = items_per_second(report, f"{family}/0")
+        incr = items_per_second(report, f"{family}/1")
+        incremental[f"{family}/1"] = incr
+        ratio = incr / naive if naive > 0 else float("inf")
+        print(f"check_perf: {family}: naive {naive:,.0f} hb/s, "
+              f"incremental {incr:,.0f} hb/s, ratio {ratio:.1f}x")
+        if ratio < MIN_RATIO:
+            sys.exit(f"check_perf: FAIL - {family} incremental/naive ratio "
+                     f"{ratio:.2f}x is below the required {MIN_RATIO:.1f}x")
 
     regen = os.environ.get("PNATS_PERF_REGEN", "0") not in ("", "0")
     if regen or not os.path.exists(baseline_path):
         with open(baseline_path, "w") as f:
-            json.dump({"BM_PnaHeartbeatSaturated/1": {
-                "items_per_second": incremental}}, f, indent=2)
+            json.dump({name: {"items_per_second": v}
+                       for name, v in incremental.items()}, f, indent=2)
             f.write("\n")
         print(f"check_perf: baseline written to {baseline_path}")
         return
 
     with open(baseline_path) as f:
         baseline = json.load(f)
-    ref = float(
-        baseline["BM_PnaHeartbeatSaturated/1"]["items_per_second"])
-    floor = ref * (1.0 - MAX_REGRESSION)
-    print(f"check_perf: baseline {ref:,.0f} hb/s, floor {floor:,.0f} hb/s")
-    if incremental < floor:
-        sys.exit(f"check_perf: FAIL - {incremental:,.0f} hb/s regresses "
-                 f">{MAX_REGRESSION:.0%} below baseline {ref:,.0f} hb/s "
-                 f"(PNATS_PERF_REGEN=1 to accept a new baseline)")
+    for name, measured in incremental.items():
+        if name not in baseline:
+            sys.exit(f"check_perf: FAIL - '{name}' missing from baseline "
+                     f"{baseline_path} (PNATS_PERF_REGEN=1 to add it)")
+        ref = float(baseline[name]["items_per_second"])
+        floor = ref * (1.0 - MAX_REGRESSION)
+        print(f"check_perf: {name}: baseline {ref:,.0f} hb/s, "
+              f"floor {floor:,.0f} hb/s")
+        if measured < floor:
+            sys.exit(f"check_perf: FAIL - {name} {measured:,.0f} hb/s "
+                     f"regresses >{MAX_REGRESSION:.0%} below baseline "
+                     f"{ref:,.0f} hb/s "
+                     f"(PNATS_PERF_REGEN=1 to accept a new baseline)")
     print("check_perf: OK")
 
 

@@ -102,9 +102,36 @@ PNATS_QUICK=1 ./build/bench/bench_tenant_isolation >/dev/null
 test -s bench_out/tenant_isolation_quick.csv
 echo "tenant smoke: bench_out/tenant_isolation_quick.csv written"
 
+echo "==> hetero smoke: fast/slow classes run end-to-end"
+# A two-class cluster must print one parseable summary line per class,
+# and every finished map must be attributed to exactly one class.
+HET_OUT="$(./build/tools/pnats_sim --batch grep --nodes 12 --seed 42 \
+  --node-classes fast:1,slow:1 --class-speeds 2,0.5 --class-slots 6/3,2/1 \
+  --class-links 2,0.5 --log-level warn --quiet)"
+echo "$HET_OUT" | grep -Eq 'class fast +nodes=[0-9]+ speed=2\.00 slots=6/3'
+echo "$HET_OUT" | grep -Eq 'class slow +nodes=[0-9]+ speed=0\.50 slots=2/1'
+./build/tools/pnats_sim --batch grep --nodes 12 --seed 42 \
+  --scheduler unrelated --node-classes fast:1,slow:1 --class-speeds 2,0.5 \
+  --log-level warn --quiet | grep -q '^unrelated: completed=yes'
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<PY
+import re
+out = '''$HET_OUT'''
+nodes = [int(n) for n in re.findall(r"class \w+ +nodes=(\d+)", out)]
+maps = [int(m) for m in re.findall(r"maps=(\d+)", out)]
+assert sum(nodes) == 12, f"class sizes {nodes} do not cover the cluster"
+assert sum(maps) > 0, "no per-class map attribution"
+print(f"hetero smoke: {nodes} nodes per class, {sum(maps)} maps attributed")
+PY
+fi
+echo "==> hetero smoke: quick heterogeneity sweep runs"
+PNATS_QUICK=1 ./build/bench/bench_hetero_sweep >/dev/null
+test -s bench_out/hetero_sweep_quick.csv
+echo "hetero smoke: bench_out/hetero_sweep_quick.csv written"
+
 echo "==> perf smoke: incremental scoring vs naive heartbeat path"
 ./build/bench/bench_micro_scheduler \
-  --benchmark_filter='BM_PnaHeartbeatSaturated' \
+  --benchmark_filter='BM_PnaHeartbeat(Saturated|Hetero)' \
   --benchmark_format=json >"$SMOKE_DIR/perf.json"
 if command -v python3 >/dev/null 2>&1; then
   python3 tools/check_perf.py "$SMOKE_DIR/perf.json" tools/perf_baseline.json

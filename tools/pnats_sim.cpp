@@ -5,8 +5,8 @@
 //
 // Usage:
 //   pnats_sim [options]
-//     --scheduler NAME    fifo|fair|coupling|larts|mincost|probabilistic
-//                         (default probabilistic)
+//     --scheduler NAME    fifo|fair|coupling|larts|mincost|probabilistic|
+//                         unrelated (default probabilistic)
 //     --batch NAME        wordcount|terasort|grep|all|mixed (default mixed)
 //     --jobs-file CSV     custom jobs (name,kind,maps,reduces); overrides
 //                         --batch
@@ -77,6 +77,21 @@
 //                         jobs in system (omit = quotas off)
 //     --fair-order NAME   fair|weighted — fair scheduler job order
 //                         (weighted uses JobSpec::weight deficits)
+//
+//   Heterogeneous node classes (omit --node-classes for the homogeneous
+//   cluster; per-class lists follow the --node-classes order):
+//     --node-classes name:weight,...  class names + assignment weights
+//     --class-speeds A,B,...   per-class CPU speed factors (default 1)
+//     --class-slots M/R,...    per-class map/reduce slot counts
+//                              (default 4/2)
+//     --class-links A,B,...    per-class NIC capacity scale (default 1)
+//     --class-disks A,B,...    per-class local disk rate in MiB/s
+//                              (default 150)
+//     --class-assign MODE      weighted|by-rack (default weighted;
+//                              by-rack assigns class = rack % classes)
+//     --cost-mix X        PNA combined cost: 0 = network bytes*distance
+//                         only (the paper), 1 = compute seconds only,
+//                         between = blend (default 0)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -113,7 +128,11 @@ using namespace mrs;
       "                 [--job-scale X] [--tenants N] [--tenant-rates A,B]\n"
       "                 [--tenant-processes P,Q] [--tenant-bursts A,B]\n"
       "                 [--tenant-weights A,B] [--tenant-quotas A,B]\n"
-      "                 [--fair-order fair|weighted]\n",
+      "                 [--fair-order fair|weighted]\n"
+      "                 [--node-classes name:w,...] [--class-speeds A,B]\n"
+      "                 [--class-slots M/R,...] [--class-links A,B]\n"
+      "                 [--class-disks A,B] [--class-assign weighted|by-rack]\n"
+      "                 [--cost-mix X]\n",
       code == 0 ? stdout : stderr);
   std::exit(code);
 }
@@ -139,6 +158,7 @@ driver::SchedulerKind parse_scheduler(const std::string& s) {
   if (s == "probabilistic" || s == "pna") {
     return driver::SchedulerKind::kPna;
   }
+  if (s == "unrelated") return driver::SchedulerKind::kUnrelated;
   std::fprintf(stderr, "unknown scheduler '%s'\n", s.c_str());
   usage(2);
 }
@@ -183,6 +203,102 @@ std::vector<double> parse_double_list(const std::string& flag,
   return out;
 }
 
+/// Build the heterogeneity config from the --node-classes / --class-*
+/// flags, rejecting malformed input with a usage message before the
+/// config-layer MRS_REQUIRE validation would abort.
+hetero::HeteroConfig parse_hetero(const std::string& node_classes,
+                                  const std::string& class_speeds,
+                                  const std::string& class_slots,
+                                  const std::string& class_links,
+                                  const std::string& class_disks,
+                                  const std::string& class_assign) {
+  hetero::HeteroConfig cfg;
+  for (const auto& field : split_list(node_classes)) {
+    const auto colon = field.find(':');
+    hetero::NodeClass cls;
+    cls.name = field.substr(0, colon);
+    if (cls.name.empty()) {
+      std::fprintf(stderr, "--node-classes: empty class name in '%s'\n",
+                   field.c_str());
+      usage(2);
+    }
+    if (colon != std::string::npos) {
+      try {
+        cls.weight = std::stod(field.substr(colon + 1));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "--node-classes: bad weight in '%s'\n",
+                     field.c_str());
+        usage(2);
+      }
+    }
+    if (cls.weight <= 0.0) {
+      std::fprintf(stderr, "--node-classes: weight must be > 0 in '%s'\n",
+                   field.c_str());
+      usage(2);
+    }
+    cfg.classes.push_back(std::move(cls));
+  }
+  const std::size_t n = cfg.classes.size();
+  auto per_class = [&](const std::string& flag, const std::string& s) {
+    std::vector<double> vals = parse_double_list(flag, s);
+    if (vals.size() != n) {
+      std::fprintf(stderr, "%s needs %zu comma-separated values\n",
+                   flag.c_str(), n);
+      usage(2);
+    }
+    for (double v : vals) {
+      if (v <= 0.0) {
+        std::fprintf(stderr, "%s: values must be > 0\n", flag.c_str());
+        usage(2);
+      }
+    }
+    return vals;
+  };
+  if (!class_speeds.empty()) {
+    const auto v = per_class("--class-speeds", class_speeds);
+    for (std::size_t i = 0; i < n; ++i) cfg.classes[i].cpu_speed = v[i];
+  }
+  if (!class_links.empty()) {
+    const auto v = per_class("--class-links", class_links);
+    for (std::size_t i = 0; i < n; ++i) cfg.classes[i].link_scale = v[i];
+  }
+  if (!class_disks.empty()) {
+    const auto v = per_class("--class-disks", class_disks);
+    for (std::size_t i = 0; i < n; ++i) {
+      cfg.classes[i].disk_rate = units::MiB(v[i]);
+    }
+  }
+  if (!class_slots.empty()) {
+    const auto fields = split_list(class_slots);
+    if (fields.size() != n) {
+      std::fprintf(stderr, "--class-slots needs %zu M/R values\n", n);
+      usage(2);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      unsigned long m = 0, r = 0;
+      if (std::sscanf(fields[i].c_str(), "%lu/%lu", &m, &r) != 2 || m < 1) {
+        std::fprintf(stderr,
+                     "--class-slots: bad 'M/R' field '%s' (M >= 1, R >= 0)\n",
+                     fields[i].c_str());
+        usage(2);
+      }
+      cfg.classes[i].map_slots = m;
+      cfg.classes[i].reduce_slots = r;
+    }
+  }
+  if (class_assign == "weighted") {
+    cfg.assign = hetero::AssignMode::kWeighted;
+  } else if (class_assign == "by-rack") {
+    cfg.assign = hetero::AssignMode::kByRack;
+  } else {
+    std::fprintf(stderr, "unknown class assign mode '%s'\n",
+                 class_assign.c_str());
+    usage(2);
+  }
+  hetero::validate(cfg);  // config-layer invariants (duplicate names etc.)
+  return cfg;
+}
+
 std::vector<workload::JobDescription> parse_batch(const std::string& s) {
   using mapreduce::JobKind;
   if (s == "wordcount") return workload::table2_batch(JobKind::kWordcount);
@@ -199,6 +315,22 @@ std::vector<workload::JobDescription> parse_batch(const std::string& s) {
   usage(2);
 }
 
+/// One line per node class: drawn composition plus executed-task counters
+/// (the lazy hetero.class.* metrics; zero when a class never ran a task).
+void print_class_summary(const driver::ExperimentResult& result) {
+  for (const auto& c : result.node_classes) {
+    const auto finished = [&](const char* what) {
+      return static_cast<unsigned long long>(result.telemetry.counter(
+          "hetero.class." + c.name + "." + what));
+    };
+    std::printf("  class %-10s nodes=%zu speed=%.2f slots=%zu/%zu "
+                "link=%.2f maps=%llu reduces=%llu\n",
+                c.name.c_str(), c.nodes, c.cpu_speed, c.map_slots,
+                c.reduce_slots, c.link_scale, finished("maps_finished"),
+                finished("reduces_finished"));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -213,6 +345,8 @@ int main(int argc, char** argv) {
   std::string fair_order = "fair";
   std::string tenant_rates, tenant_processes, tenant_bursts;
   std::string tenant_weights, tenant_quotas;
+  std::string node_classes, class_speeds, class_slots, class_links;
+  std::string class_disks, class_assign = "weighted";
   std::size_t tenants_n = 0;
   std::size_t nodes = 60, racks = 1, replication = 2;
   std::size_t max_deferrals = 4, max_attempts = 0, blacklist_failures = 2;
@@ -222,6 +356,7 @@ int main(int argc, char** argv) {
   double sample_period = -1.0;
   double admission_threshold = 12.0, admission_delay = 0.0;
   double admission_rate = 600.0, probation = 300.0;
+  double cost_mix = 0.0;
   bool speculation = false, quiet = false, blacklist = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -277,6 +412,13 @@ int main(int argc, char** argv) {
     else if (arg == "--tenant-weights") tenant_weights = next();
     else if (arg == "--tenant-quotas") tenant_quotas = next();
     else if (arg == "--fair-order") fair_order = next();
+    else if (arg == "--node-classes") node_classes = next();
+    else if (arg == "--class-speeds") class_speeds = next();
+    else if (arg == "--class-slots") class_slots = next();
+    else if (arg == "--class-links") class_links = next();
+    else if (arg == "--class-disks") class_disks = next();
+    else if (arg == "--class-assign") class_assign = next();
+    else if (arg == "--cost-mix") cost_mix = std::stod(next());
     else if (arg == "--quiet") quiet = true;
     else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
@@ -291,6 +433,21 @@ int main(int argc, char** argv) {
   cfg.nodes = nodes;
   cfg.racks = racks;
   cfg.pna.p_min = pmin;
+  if (cost_mix < 0.0 || cost_mix > 1.0) {
+    std::fputs("--cost-mix must be in [0, 1]\n", stderr);
+    usage(2);
+  }
+  cfg.pna.cost_mix = cost_mix;
+  if (node_classes.empty()) {
+    if (!class_speeds.empty() || !class_slots.empty() ||
+        !class_links.empty() || !class_disks.empty()) {
+      std::fputs("--class-* flags require --node-classes\n", stderr);
+      usage(2);
+    }
+  } else {
+    cfg.hetero = parse_hetero(node_classes, class_speeds, class_slots,
+                              class_links, class_disks, class_assign);
+  }
   cfg.workload.replication = replication;
   cfg.engine.fault.straggler_probability = straggler_p;
   cfg.engine.fault.speculative_execution = speculation;
@@ -504,6 +661,7 @@ int main(int argc, char** argv) {
                     t.response_time.p99, t.mean_jobs_in_system);
       }
     }
+    print_class_summary(stream.run);
     if (!out_dir.empty()) {
       driver::save_result(out_dir, "stream", stream.run);
       std::printf("records saved under %s/stream_*.csv\n", out_dir.c_str());
@@ -542,6 +700,7 @@ int main(int argc, char** argv) {
               result.job_records.size(), jct.mean(), result.makespan,
               loc.node_local_pct,
               100.0 * result.utilization.map_utilization());
+  print_class_summary(result);
 
   if (!quiet) {
     for (const auto& j : result.job_records) {
