@@ -16,6 +16,8 @@
 #include "mrs/net/flow.hpp"
 #include "mrs/sim/network_service.hpp"
 #include "mrs/sim/simulation.hpp"
+#include "mrs/trace/decision.hpp"
+#include "mrs/trace/recorder.hpp"
 
 namespace {
 
@@ -140,7 +142,11 @@ struct SaturatedCluster {
   /// `hetero` swaps in a fast/slow split cluster (per-node slot counts and
   /// speeds) and blends the compute term into the PNA cost (cost_mix 0.5)
   /// — the incremental row sums stay exact, so the same gate applies.
-  explicit SaturatedCluster(bool incremental, bool hetero = false)
+  /// `traced` installs the causal tracer (span recorder + decision log)
+  /// before start, so the heartbeat path pays the full record cost: the
+  /// worst case for tracing since every skipped offer emits a record.
+  explicit SaturatedCluster(bool incremental, bool hetero = false,
+                            bool traced = false)
       : topo(net::make_single_rack(60, units::Gbps(1))),
         store(60),
         placer(&topo, Rng(1)),
@@ -197,6 +203,12 @@ struct SaturatedCluster {
       }
     }
     engine.set_scheduler(pna.get());
+    if (traced) {
+      recorder = std::make_unique<trace::TraceRecorder>();
+      decisions = std::make_unique<trace::DecisionLog>();
+      engine.set_trace_recorder(recorder.get());
+      pna->set_decision_log(decisions.get());
+    }
     engine.start();
     sim.run(0.0);  // activate both jobs
   }
@@ -226,6 +238,8 @@ struct SaturatedCluster {
   net::HopDistanceProvider distance;
   mapreduce::Engine engine;
   std::unique_ptr<core::PnaScheduler> pna;
+  std::unique_ptr<trace::TraceRecorder> recorder;
+  std::unique_ptr<trace::DecisionLog> decisions;
   mapreduce::JobRun* jobs[2] = {nullptr, nullptr};
 };
 
@@ -257,6 +271,24 @@ void BM_PnaHeartbeatHetero(benchmark::State& state) {
   state.SetLabel(state.range(0) == 1 ? "incremental" : "naive");
 }
 BENCHMARK(BM_PnaHeartbeatHetero)->Arg(0)->Arg(1);
+
+// Tracing overhead on the same saturated scan (incremental scoring both
+// ways): Arg(0) = tracer detached (the default-run configuration the
+// perf baseline gates), Arg(1) = span recorder + decision log attached —
+// every scored-and-skipped offer appends a PlacementDecisionRecord, the
+// worst case for the per-offer record path.
+void BM_PnaHeartbeatTraced(benchmark::State& state) {
+  SaturatedCluster sc(/*incremental=*/true, /*hetero=*/false,
+                      /*traced=*/state.range(0) == 1);
+  std::size_t probe = 0;
+  for (auto _ : state) {
+    sc.engine.heartbeat_now(NodeId(probe));
+    probe = (probe + 1) % SaturatedCluster::kProbes;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(state.range(0) == 1 ? "trace-on" : "trace-off");
+}
+BENCHMARK(BM_PnaHeartbeatTraced)->Arg(0)->Arg(1);
 
 void BM_FlowRecompute(benchmark::State& state) {
   const auto topo = net::make_single_rack(60, units::Gbps(1));

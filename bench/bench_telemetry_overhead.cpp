@@ -7,6 +7,8 @@
 //               the hot path pays one predictable branch per event
 //   counters  — registry attached (the run_experiment default): counter
 //               bumps + histogram observes + scoped wall timers
+//   tracing   — counters plus the causal tracer (span recorder + placement
+//               decision log + critical-path extraction, no file output)
 //   exporting — counters plus the 10 s gauge sampler and both exporters
 //               (JSONL + Chrome trace) writing to temp files
 //
@@ -51,6 +53,7 @@ driver::ExperimentConfig mode_config(const std::string& mode,
   auto cfg = driver::paper_config(std::move(jobs),
                                   driver::SchedulerKind::kPna, 42);
   cfg.enable_telemetry = mode != "baseline";
+  cfg.enable_tracing = mode == "tracing";
   if (mode == "exporting") {
     cfg.sample_period = 10.0;
     cfg.telemetry_path = tmp + "/overhead_telemetry.jsonl";
@@ -65,7 +68,7 @@ int main(int argc, char** argv) {
   std::size_t reps = 3;
   if (argc > 1) reps = std::stoul(argv[1]);
   const std::string tmp = std::filesystem::temp_directory_path().string();
-  const std::vector<std::string> modes = {"baseline", "counters",
+  const std::vector<std::string> modes = {"baseline", "counters", "tracing",
                                           "exporting"};
 
   std::printf("telemetry overhead | paper-scale mixed batch, %zu reps "

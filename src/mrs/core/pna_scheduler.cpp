@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <limits>
 
+#include "mrs/trace/decision.hpp"
+
 namespace mrs::core {
 
 using mapreduce::Engine;
 using mapreduce::JobRun;
 using mapreduce::jobs_for_maps;
 using mapreduce::jobs_for_reduces;
+using trace::DecisionOutcome;
 
 PnaScheduler::PnaScheduler(PnaConfig cfg, Rng rng)
     : cfg_(cfg), rng_(std::move(rng)) {
@@ -105,6 +108,19 @@ bool PnaScheduler::schedule_map(Engine& engine, JobRun& job, NodeId node) {
     if (local < job.map_count()) {
       telemetry::inc(metrics_.map_local_fastpath);
       engine.assign_map(job, local, node);
+      if (decisions_ != nullptr) {
+        trace::PlacementDecisionRecord rec;
+        rec.time = engine.now();
+        rec.is_map = true;
+        rec.job = job.id();
+        rec.task = local;
+        rec.node = node;
+        rec.free_nodes = engine.cluster().nodes_with_free_map_slots().size();
+        rec.p = 1.0;
+        rec.locality = static_cast<int>(job.map_state(local).locality);
+        rec.outcome = DecisionOutcome::kLocalFastPath;
+        decisions_->record(rec);
+      }
       return true;
     }
   }
@@ -115,6 +131,8 @@ bool PnaScheduler::schedule_map(Engine& engine, JobRun& job, NodeId node) {
   MRS_ASSERT(!n_m.empty());  // `node` itself has a free map slot
 
   double best_p = -1.0;
+  double best_c = 0.0;
+  double best_c_ave = 0.0;
   std::size_t best_task = job.map_count();
   std::uint64_t candidates = 0;
   const bool cached = job.has_static_costs();
@@ -176,6 +194,8 @@ bool PnaScheduler::schedule_map(Engine& engine, JobRun& job, NodeId node) {
       const double p = assignment_probability(c_ij, c_ave, cfg_.model);
       if (p > best_p) {
         best_p = p;
+        best_c = c_ij;
+        best_c_ave = c_ave;
         best_task = j;
       }
     }
@@ -185,20 +205,55 @@ bool PnaScheduler::schedule_map(Engine& engine, JobRun& job, NodeId node) {
   // with a free map slot; the incremental path reads one cached sum.
   telemetry::inc(metrics_.map_cost_evals,
                  candidates * (incremental ? 2 : 1 + n_m.size()));
-  if (best_task == job.map_count()) return false;  // no unassigned task
+  // Decision records are pure observation: fields are filled from values
+  // the scan already computed, and the Bernoulli draw below is untouched.
+  const auto record_map = [&](DecisionOutcome outcome, int locality) {
+    trace::PlacementDecisionRecord rec;
+    rec.time = engine.now();
+    rec.is_map = true;
+    rec.job = job.id();
+    rec.task = best_task < job.map_count() ? best_task : SIZE_MAX;
+    rec.node = node;
+    rec.candidates = candidates;
+    rec.free_nodes = n_m.size();
+    rec.cost = best_c;
+    rec.cost_avg = best_c_ave;
+    rec.p = best_p;
+    rec.locality = locality;
+    rec.outcome = outcome;
+    decisions_->record(rec);
+  };
+  if (best_task == job.map_count()) {  // no unassigned task
+    if (decisions_ != nullptr) {
+      record_map(DecisionOutcome::kNoCandidate, -1);
+    }
+    return false;
+  }
 
   telemetry::observe(metrics_.map_p, best_p);
   if (best_p < cfg_.p_min) {  // Lines 10-12: too costly, skip this node
     ++map_skips_;
     telemetry::inc(metrics_.map_pmin_skips);
+    if (decisions_ != nullptr) {
+      record_map(DecisionOutcome::kPminSkip,
+                 static_cast<int>(engine.map_locality(job, best_task, node)));
+    }
     return false;
   }
   if (!rng_.bernoulli(best_p)) {  // Lines 13-16
     ++map_skips_;
     telemetry::inc(metrics_.map_bernoulli_rejects);
+    if (decisions_ != nullptr) {
+      record_map(DecisionOutcome::kBernoulliReject,
+                 static_cast<int>(engine.map_locality(job, best_task, node)));
+    }
     return false;
   }
   engine.assign_map(job, best_task, node);
+  if (decisions_ != nullptr) {
+    record_map(DecisionOutcome::kAssigned,
+               static_cast<int>(job.map_state(best_task).locality));
+  }
   return true;
 }
 
@@ -227,6 +282,8 @@ bool PnaScheduler::schedule_reduce(Engine& engine, JobRun& job, NodeId node) {
   }
 
   double best_p = -1.0;
+  double best_c = 0.0;
+  double best_c_ave = 0.0;
   std::size_t best_task = job.reduce_count();
   std::uint64_t candidates = 0;
   {
@@ -249,6 +306,8 @@ bool PnaScheduler::schedule_reduce(Engine& engine, JobRun& job, NodeId node) {
       const double p = assignment_probability(c_if, c_ave, cfg_.model);
       if (p > best_p) {
         best_p = p;
+        best_c = c_if;
+        best_c_ave = c_ave;
         best_task = f;
       }
     }
@@ -257,20 +316,50 @@ bool PnaScheduler::schedule_reduce(Engine& engine, JobRun& job, NodeId node) {
   // Per candidate: C_if at this node plus the average over all nodes with
   // a free reduce slot (Eq. 3 evaluated once per node by the evaluator).
   telemetry::inc(metrics_.reduce_cost_evals, candidates * (1 + n_r.size()));
-  if (best_task == job.reduce_count()) return false;
+  const auto record_reduce = [&](DecisionOutcome outcome, int locality) {
+    trace::PlacementDecisionRecord rec;
+    rec.time = engine.now();
+    rec.is_map = false;
+    rec.job = job.id();
+    rec.task = best_task < job.reduce_count() ? best_task : SIZE_MAX;
+    rec.node = node;
+    rec.candidates = candidates;
+    rec.free_nodes = n_r.size();
+    rec.cost = best_c;
+    rec.cost_avg = best_c_ave;
+    rec.p = best_p;
+    rec.locality = locality;
+    rec.outcome = outcome;
+    decisions_->record(rec);
+  };
+  if (best_task == job.reduce_count()) {
+    if (decisions_ != nullptr) {
+      record_reduce(DecisionOutcome::kNoCandidate, -1);
+    }
+    return false;
+  }
 
   telemetry::observe(metrics_.reduce_p, best_p);
   if (best_p < cfg_.p_min) {  // Lines 11-13
     ++reduce_skips_;
     telemetry::inc(metrics_.reduce_pmin_skips);
+    if (decisions_ != nullptr) record_reduce(DecisionOutcome::kPminSkip, -1);
     return false;
   }
   if (!rng_.bernoulli(best_p)) {  // Lines 14-17
     ++reduce_skips_;
     telemetry::inc(metrics_.reduce_bernoulli_rejects);
+    if (decisions_ != nullptr) {
+      record_reduce(DecisionOutcome::kBernoulliReject, -1);
+    }
     return false;
   }
   engine.assign_reduce(job, best_task, node);
+  if (decisions_ != nullptr) {
+    record_reduce(
+        DecisionOutcome::kAssigned,
+        static_cast<int>(job.reduce_state(best_task).locality));
+  }
   return true;
 }
 

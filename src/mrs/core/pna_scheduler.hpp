@@ -75,6 +75,14 @@ class PnaScheduler final : public mapreduce::TaskScheduler {
   /// Bernoulli skip counters (introspection of Algorithm 1/2 outcomes).
   void set_telemetry(telemetry::Registry* registry) override;
 
+  /// Records every terminal per-offer outcome (assignment, local fast
+  /// path, P_min skip, Bernoulli reject, no candidate) with the scored
+  /// candidate count, best C_ij / C_ave / P, and the placement's
+  /// distance class. Pure observation: no RNG use, no decision change.
+  void set_decision_log(trace::DecisionLog* log) override {
+    decisions_ = log;
+  }
+
   // --- statistics (for tests and the micro bench) ---
   [[nodiscard]] std::size_t map_attempts() const { return map_attempts_; }
   [[nodiscard]] std::size_t map_skips() const { return map_skips_; }
@@ -113,6 +121,7 @@ class PnaScheduler final : public mapreduce::TaskScheduler {
   PnaConfig cfg_;
   Rng rng_;
   Metrics metrics_;
+  trace::DecisionLog* decisions_ = nullptr;
   std::size_t map_attempts_ = 0;
   std::size_t map_skips_ = 0;
   std::size_t reduce_attempts_ = 0;

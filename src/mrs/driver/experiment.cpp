@@ -4,12 +4,15 @@
 #include <thread>
 
 #include "mrs/common/log.hpp"
+#include "mrs/common/strfmt.hpp"
 #include "mrs/net/distance.hpp"
 #include "mrs/sched/fifo.hpp"
 #include "mrs/sim/network_service.hpp"
 #include "mrs/sim/simulation.hpp"
 #include "mrs/telemetry/export.hpp"
 #include "mrs/telemetry/perfetto.hpp"
+#include "mrs/trace/jsonl.hpp"
+#include "mrs/trace/recorder.hpp"
 
 namespace mrs::driver {
 
@@ -149,6 +152,20 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     engine.set_admission(admission.get());
   }
 
+  // Causal tracing (span trees + decision records + critical-path blame).
+  // The recorder and decision log observe lifecycle/placement events
+  // without touching RNG or scheduling, so an untraced run is
+  // byte-identical (tested by CausalTrace.DisabledIsByteIdentical).
+  const bool tracing = cfg.enable_tracing || !cfg.causal_trace_path.empty();
+  std::unique_ptr<trace::TraceRecorder> recorder;
+  std::unique_ptr<trace::DecisionLog> decision_log;
+  if (tracing) {
+    recorder = std::make_unique<trace::TraceRecorder>();
+    decision_log = std::make_unique<trace::DecisionLog>();
+    engine.set_trace_recorder(recorder.get());
+    scheduler->set_decision_log(decision_log.get());
+  }
+
   // One registry per run: metric values stay deterministic per (config,
   // seed) and parallel run_experiments shares no mutable state.
   telemetry::Registry registry;
@@ -179,11 +196,23 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   MRS_REQUIRE(cfg.sample_period >= 0.0);
   std::unique_ptr<telemetry::Sampler> sampler;
   if (cfg.sample_period > 0.0) {
-    const std::vector<std::string> columns = {
+    std::vector<std::string> columns = {
         "jobs_in_system",  "maps_queued",       "reduces_queued",
         "busy_map_slots",  "busy_reduce_slots", "map_slot_util",
         "reduce_slot_util", "jobs_arrived",     "jobs_completed",
         "deferral_queue_depth"};
+    // Per-node slot gauges (opt-in: slot idling visible without a full
+    // trace). Appended after the default columns so existing consumers
+    // keep their indices.
+    const bool node_slots = cfg.sample_node_slots;
+    if (node_slots) {
+      for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+        columns.push_back(strf("node%zu.map_slots.busy", n));
+        columns.push_back(strf("node%zu.map_slots.free", n));
+        columns.push_back(strf("node%zu.reduce_slots.busy", n));
+        columns.push_back(strf("node%zu.reduce_slots.free", n));
+      }
+    }
     std::vector<telemetry::Gauge*> gauges;
     gauges.reserve(columns.size());
     for (const auto& c : columns) {
@@ -192,7 +221,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     control::AdmissionController* adm = admission.get();
     sampler = std::make_unique<telemetry::Sampler>(
         &simulation, columns, cfg.sample_period,
-        [&engine, &cluster, adm, gauges](Seconds, std::vector<double>& row) {
+        [&engine, &cluster, adm, gauges,
+         node_slots](Seconds, std::vector<double>& row) {
           std::size_t maps_queued = 0, reduces_queued = 0;
           for (const mapreduce::JobRun* job : engine.active_jobs()) {
             maps_queued += job->maps_unassigned();
@@ -218,6 +248,15 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
                  adm != nullptr
                      ? static_cast<double>(adm->deferral_queue_depth())
                      : 0.0};
+          if (node_slots) {
+            for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+              const auto& ns = cluster.node(NodeId(n));
+              row.push_back(static_cast<double>(ns.busy_map_slots));
+              row.push_back(static_cast<double>(ns.free_map_slots()));
+              row.push_back(static_cast<double>(ns.busy_reduce_slots));
+              row.push_back(static_cast<double>(ns.free_reduce_slots()));
+            }
+          }
           for (std::size_t i = 0; i < row.size(); ++i) {
             gauges[i]->set(row[i]);  // snapshot carries the last sample
           }
@@ -275,6 +314,31 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
   result.telemetry = registry.snapshot();
   if (sampler) result.samples = sampler->series();
+  if (tracing) {
+    result.tracing_enabled = true;
+    result.job_traces = recorder->jobs();
+    result.decisions = decision_log->records();
+    result.job_blames.reserve(result.job_traces.size());
+    for (const auto& jt : result.job_traces) {
+      if (auto blame = trace::blame_job(jt)) {
+        result.job_blames.push_back(*blame);
+      }
+    }
+    std::vector<std::string> class_of;
+    if (cluster.has_node_classes()) {
+      class_of.reserve(cluster.node_count());
+      for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+        class_of.push_back(
+            cluster.class_name(cluster.node(NodeId(n)).class_index));
+      }
+    }
+    result.critical_path =
+        trace::summarize_critical_paths(result.job_blames, class_of);
+    if (!cfg.causal_trace_path.empty()) {
+      trace::write_jsonl(cfg.causal_trace_path, result.job_traces,
+                         result.decisions, result.job_blames);
+    }
+  }
   if (!cfg.telemetry_path.empty()) {
     telemetry::write_jsonl(cfg.telemetry_path, result.telemetry,
                            result.samples);
@@ -282,7 +346,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (!cfg.perfetto_path.empty()) {
     telemetry::write_chrome_trace(cfg.perfetto_path,
                                   perfetto_events.events(), result.telemetry,
-                                  result.samples);
+                                  result.samples, result.decisions);
   }
   return result;
 }

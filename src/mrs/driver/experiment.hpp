@@ -29,6 +29,9 @@
 #include "mrs/sched/mincost.hpp"
 #include "mrs/telemetry/registry.hpp"
 #include "mrs/telemetry/sampler.hpp"
+#include "mrs/trace/critical_path.hpp"
+#include "mrs/trace/decision.hpp"
+#include "mrs/trace/span.hpp"
 #include "mrs/workload/table2.hpp"
 
 namespace mrs::driver {
@@ -143,6 +146,21 @@ struct ExperimentConfig {
   /// When non-empty, write a Chrome trace-event JSON (ui.perfetto.dev)
   /// built from the execution trace, sampled gauges and wall timers.
   std::string perfetto_path;
+
+  // --- causal tracing (docs/tracing.md) ---
+  /// Record per-job span trees, placement decision records, and per-job
+  /// critical-path blame into ExperimentResult. Off by default: the
+  /// engine/scheduler trace pointers stay null and the run is
+  /// byte-identical to an untraced one (tested).
+  bool enable_tracing = false;
+  /// When non-empty, write the causal trace JSONL (jobs, spans,
+  /// decisions, blames — the input of tools/trace_analyze) to this path.
+  /// Implies enable_tracing.
+  std::string causal_trace_path;
+  /// Append per-node `node<N>.map_slots.busy/.free` (and reduce) gauge
+  /// columns to the sampler so slot idling is visible in the time series
+  /// without a full trace. Default columns are unchanged when off.
+  bool sample_node_slots = false;
 };
 
 /// Composition of one node class as resolved by the experiment runner
@@ -179,6 +197,14 @@ struct ExperimentResult {
   std::size_t jobs_aborted = 0;
   /// Per-class cluster composition (empty unless config.hetero enabled).
   std::vector<NodeClassSummary> node_classes;
+  /// Causal trace (empty unless config.enable_tracing / causal_trace_path
+  /// is set): per-job span trees, every placement decision record, the
+  /// per-job critical-path blames and their per-run aggregate.
+  bool tracing_enabled = false;
+  std::vector<trace::JobTrace> job_traces;
+  std::vector<trace::PlacementDecisionRecord> decisions;
+  std::vector<trace::JobBlame> job_blames;
+  trace::CriticalPathSummary critical_path;
 };
 
 /// Run one experiment synchronously.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "mrs/trace/decision.hpp"
+
 namespace mrs::hetero {
 
 using mapreduce::Engine;
@@ -68,8 +70,31 @@ bool UnrelatedScheduler::try_map(Engine& engine, NodeId node) {
     if (best_task == job->map_count()) continue;
     telemetry::inc(metrics_.map_assignments);
     telemetry::observe(metrics_.map_est_seconds, best_time);
+    if (decisions_ != nullptr) {
+      trace::PlacementDecisionRecord rec;
+      rec.time = engine.now();
+      rec.is_map = true;
+      rec.job = job->id();
+      rec.task = best_task;
+      rec.node = node;
+      rec.candidates = candidates;
+      rec.free_nodes = engine.cluster().nodes_with_free_map_slots().size();
+      rec.cost = best_time;
+      rec.locality =
+          static_cast<int>(engine.map_locality(*job, best_task, node));
+      rec.outcome = trace::DecisionOutcome::kAssigned;
+      decisions_->record(rec);
+    }
     engine.assign_map(*job, best_task, node);
     return true;
+  }
+  if (decisions_ != nullptr) {
+    trace::PlacementDecisionRecord rec;
+    rec.time = engine.now();
+    rec.is_map = true;
+    rec.node = node;
+    rec.free_nodes = engine.cluster().nodes_with_free_map_slots().size();
+    decisions_->record(rec);  // outcome defaults to kNoCandidate
   }
   return false;
 }
@@ -111,8 +136,29 @@ bool UnrelatedScheduler::try_reduce(Engine& engine, NodeId node) {
     if (best_task == job->reduce_count()) continue;
     telemetry::inc(metrics_.reduce_assignments);
     telemetry::observe(metrics_.reduce_est_seconds, best_time);
+    if (decisions_ != nullptr) {
+      trace::PlacementDecisionRecord rec;
+      rec.time = engine.now();
+      rec.is_map = false;
+      rec.job = job->id();
+      rec.task = best_task;
+      rec.node = node;
+      rec.candidates = candidates;
+      rec.free_nodes = free_nodes.size();
+      rec.cost = best_time;
+      rec.outcome = trace::DecisionOutcome::kAssigned;
+      decisions_->record(rec);
+    }
     engine.assign_reduce(*job, best_task, node);
     return true;
+  }
+  if (decisions_ != nullptr) {
+    trace::PlacementDecisionRecord rec;
+    rec.time = engine.now();
+    rec.is_map = false;
+    rec.node = node;
+    rec.free_nodes = engine.cluster().nodes_with_free_reduce_slots().size();
+    decisions_->record(rec);  // outcome defaults to kNoCandidate
   }
   return false;
 }

@@ -47,6 +47,13 @@ class UnrelatedScheduler final : public mapreduce::TaskScheduler {
 
   void set_telemetry(telemetry::Registry* registry) override;
 
+  /// Records per-offer outcomes for trace explainability. `cost` is the
+  /// chosen candidate's p_ij in estimated seconds; `p` stays -1 (this
+  /// baseline is deterministic).
+  void set_decision_log(trace::DecisionLog* log) override {
+    decisions_ = log;
+  }
+
  private:
   bool try_map(mapreduce::Engine& engine, NodeId node);
   bool try_reduce(mapreduce::Engine& engine, NodeId node);
@@ -62,6 +69,7 @@ class UnrelatedScheduler final : public mapreduce::TaskScheduler {
 
   UnrelatedConfig cfg_;
   Metrics metrics_;
+  trace::DecisionLog* decisions_ = nullptr;
 };
 
 }  // namespace mrs::hetero

@@ -4,6 +4,7 @@
 
 #include "mrs/common/log.hpp"
 #include "mrs/common/strfmt.hpp"
+#include "mrs/trace/recorder.hpp"
 
 namespace mrs::mapreduce {
 
@@ -36,6 +37,11 @@ Engine::Engine(sim::Simulation* simulation, cluster::Cluster* cluster,
 void Engine::set_scheduler(TaskScheduler* scheduler) {
   MRS_REQUIRE(scheduler != nullptr);
   scheduler_ = scheduler;
+}
+
+void Engine::set_trace_recorder(trace::TraceRecorder* recorder) {
+  MRS_REQUIRE(!started_);
+  recorder_ = recorder;
 }
 
 void Engine::set_telemetry(telemetry::Registry* registry) {
@@ -262,6 +268,9 @@ void Engine::abort_job(JobRun& job) {
   log_info("t=%.1f job %s aborted (task attempt cap)", now(),
            job.spec().name.c_str());
   trace(sim::TraceEventKind::kJobAborted, job.spec().name);
+  if (recorder_ != nullptr) {
+    recorder_->job_finished(job.id(), now(), /*aborted=*/true);
+  }
   if (all_jobs_complete()) heartbeats_.stop();
 }
 
@@ -272,6 +281,11 @@ void Engine::activate_job(JobRun& job) {
   telemetry::inc(metrics_.jobs_activated);
   log_debug("t=%.1f activate job %s", now(), job.spec().name.c_str());
   trace(sim::TraceEventKind::kJobActivated, job.spec().name);
+  if (recorder_ != nullptr) {
+    recorder_->job_activated(job.id(), job.spec().name, job.spec().tenant,
+                             job.map_count(), job.reduce_count(),
+                             job.submit_time, now());
+  }
 }
 
 void Engine::on_heartbeat(NodeId node) {
@@ -376,6 +390,10 @@ void Engine::assign_map(JobRun& job, std::size_t j, NodeId node) {
   trace(sim::TraceEventKind::kMapAssigned,
         strf("%s/map/%zu", job.spec().name.c_str(), j),
         strf("node=%zu locality=%s", node.value(), to_string(s.locality)));
+  if (recorder_ != nullptr) {
+    recorder_->map_assigned(job.id(), j, node, static_cast<int>(s.locality),
+                            /*backup=*/false, now());
+  }
 
   const auto epoch = s.epoch;
   s.pending_event = simulation_->schedule_in(
@@ -423,6 +441,10 @@ void Engine::map_attempt_ready(JobRun& job, std::size_t j, bool backup) {
         finish_map(job, j, backup);
       },
       /*rate_cap=*/cap);
+  if (recorder_ != nullptr) {
+    recorder_->map_running(job.id(), j, backup, /*remote=*/true, nominal,
+                           straggler, now());
+  }
   if (backup) {
     s.backup.phase = MapPhase::kFetching;
     s.backup.compute_start = now();
@@ -448,6 +470,10 @@ void Engine::start_map_compute(JobRun& job, std::size_t j, bool backup) {
         if (job.map_state(j).epoch != epoch) return;
         finish_map(job, j, backup);
       });
+  if (recorder_ != nullptr) {
+    recorder_->map_running(job.id(), j, backup, /*remote=*/false, duration,
+                           straggler, now());
+  }
   if (backup) {
     s.backup.phase = MapPhase::kComputing;
     s.backup.compute_start = now();
@@ -474,6 +500,9 @@ void Engine::kill_map_attempt(JobRun& job, std::size_t j, bool backup) {
     if (s.backup.fetch_flow.valid()) network_->cancel(s.backup.fetch_flow);
     cluster_->release_map_slot(s.backup.node);
     s.backup = MapBackupAttempt{};
+    if (recorder_ != nullptr) {
+      recorder_->map_killed(job.id(), j, /*backup=*/true, now());
+    }
   } else {
     // Full attempt kill: the task returns to the unassigned pool. Any
     // surviving backup must be killed by the caller first.
@@ -492,6 +521,9 @@ void Engine::kill_map_attempt(JobRun& job, std::size_t j, bool backup) {
     telemetry::inc(metrics_.maps_killed);
     trace(sim::TraceEventKind::kMapKilled,
           strf("%s/map/%zu", job.spec().name.c_str(), j));
+    if (recorder_ != nullptr) {
+      recorder_->map_killed(job.id(), j, /*backup=*/false, now());
+    }
   }
 }
 
@@ -540,6 +572,9 @@ void Engine::finish_map(JobRun& job, std::size_t j, bool backup) {
   trace(sim::TraceEventKind::kMapFinished,
         strf("%s/map/%zu", job.spec().name.c_str(), j),
         strf("node=%zu attempts=%zu", s.node.value(), s.attempts));
+  if (recorder_ != nullptr) {
+    recorder_->map_finished(job.id(), j, backup, now());
+  }
 
   // Publish this map's output to every reduce task already shuffling (and
   // not already holding it from a pre-failure run).
@@ -615,6 +650,12 @@ void Engine::maybe_speculate(NodeId node) {
     s.backup.phase = MapPhase::kStartup;
     s.backup.assigned_at = now();
     ++s.attempts;
+    if (recorder_ != nullptr) {
+      recorder_->map_assigned(
+          best_job->id(), best_task, node,
+          static_cast<int>(map_locality(*best_job, best_task, node)),
+          /*backup=*/true, now());
+    }
     const auto epoch = s.epoch;
     JobRun& job = *best_job;
     const std::size_t j = best_task;
@@ -675,6 +716,10 @@ void Engine::assign_reduce(JobRun& job, std::size_t f, NodeId node) {
   trace(sim::TraceEventKind::kReduceAssigned,
         strf("%s/reduce/%zu", job.spec().name.c_str(), f),
         strf("node=%zu locality=%s", node.value(), to_string(r.locality)));
+  if (recorder_ != nullptr) {
+    recorder_->reduce_assigned(job.id(), f, node,
+                               static_cast<int>(r.locality), now());
+  }
 
   const auto epoch = r.epoch;
   r.pending_event = simulation_->schedule_in(
@@ -687,6 +732,7 @@ void Engine::assign_reduce(JobRun& job, std::size_t f, NodeId node) {
 void Engine::start_reduce_shuffle(JobRun& job, std::size_t f) {
   ReduceTaskState& r = job.reduce_state(f);
   r.phase = ReducePhase::kShuffling;
+  if (recorder_ != nullptr) recorder_->reduce_shuffling(job.id(), f, now());
   // Seed with every map that finished before this reduce started (skipping
   // outputs already copied by a pre-failure incarnation — there are none
   // on a fresh attempt because the kill resets the bitmap).
@@ -725,6 +771,7 @@ void Engine::kill_reduce_attempt(JobRun& job, std::size_t f) {
   telemetry::inc(metrics_.reduces_killed);
   trace(sim::TraceEventKind::kReduceKilled,
         strf("%s/reduce/%zu", job.spec().name.c_str(), f));
+  if (recorder_ != nullptr) recorder_->reduce_killed(job.id(), f, now());
 }
 
 void Engine::pump_reduce_fetchers(JobRun& job, std::size_t f) {
@@ -816,6 +863,9 @@ void Engine::finish_reduce_shuffle(JobRun& job, std::size_t f) {
     speed /= config_.fault.straggler_slowdown;
   }
   const Seconds duration = total / (job.spec().reduce_rate * speed);
+  if (recorder_ != nullptr) {
+    recorder_->reduce_shuffle_done(job.id(), f, duration, now());
+  }
   const auto epoch = r.epoch;
   r.pending_event =
       simulation_->schedule_in(duration, [this, &job, f, epoch] {
@@ -851,6 +901,7 @@ void Engine::finish_reduce(JobRun& job, std::size_t f) {
   trace(sim::TraceEventKind::kReduceFinished,
         strf("%s/reduce/%zu", job.spec().name.c_str(), f),
         strf("node=%zu attempts=%zu", r.node.value(), r.attempts));
+  if (recorder_ != nullptr) recorder_->reduce_finished(job.id(), f, now());
   check_job_complete(job);
 }
 
@@ -1072,6 +1123,9 @@ void Engine::check_job_complete(JobRun& job) {
   telemetry::inc(metrics_.jobs_finished);
   trace(sim::TraceEventKind::kJobFinished, job.spec().name,
         strf("jct=%.3f", job.finish_time - job.submit_time));
+  if (recorder_ != nullptr) {
+    recorder_->job_finished(job.id(), now(), /*aborted=*/false);
+  }
   log_debug("t=%.1f job %s complete (%zu/%zu)", now(),
             job.spec().name.c_str(), jobs_completed_, jobs_.size());
   if (all_jobs_complete()) heartbeats_.stop();

@@ -28,6 +28,10 @@
 #include "mrs/sim/simulation.hpp"
 #include "mrs/telemetry/registry.hpp"
 
+namespace mrs::trace {
+class TraceRecorder;
+}  // namespace mrs::trace
+
 namespace mrs::mapreduce {
 
 /// Stragglers, speculative execution and TaskTracker failures — the
@@ -108,6 +112,13 @@ class Engine {
   /// Without it every metric pointer stays null and recording is a
   /// predictable branch per event.
   void set_telemetry(telemetry::Registry* registry);
+
+  /// Optional causal-trace recorder (may be null; must outlive the run).
+  /// When installed, every job/attempt lifecycle transition is mirrored
+  /// into per-job span trees (see mrs/trace/recorder.hpp). The recorder
+  /// never feeds back into scheduling or RNG, so installing it cannot
+  /// change placements; null costs one branch per lifecycle event.
+  void set_trace_recorder(trace::TraceRecorder* recorder);
 
   /// Optional admission controller (may be null; must outlive the run).
   /// When installed, every arrival is routed through it at submit time:
@@ -313,6 +324,7 @@ class Engine {
   Rng rng_;
   TaskScheduler* scheduler_ = nullptr;
   sim::TraceSink* trace_ = nullptr;
+  trace::TraceRecorder* recorder_ = nullptr;
   control::AdmissionController* admission_ = nullptr;
   control::NodeBlacklist blacklist_;
   Metrics metrics_;

@@ -13,6 +13,10 @@ namespace mrs::telemetry {
 class Registry;
 }  // namespace mrs::telemetry
 
+namespace mrs::trace {
+class DecisionLog;
+}  // namespace mrs::trace
+
 namespace mrs::mapreduce {
 
 class Engine;
@@ -42,6 +46,12 @@ class TaskScheduler {
   virtual void set_telemetry(telemetry::Registry* registry) {
     (void)registry;
   }
+
+  /// Optional: record every terminal per-offer placement decision —
+  /// accepts and rejects — into `log` (must outlive the run). Recording
+  /// is pure observation: instrumented schedulers must not let it change
+  /// placements or RNG draws. The default is a no-op.
+  virtual void set_decision_log(trace::DecisionLog* log) { (void)log; }
 };
 
 }  // namespace mrs::mapreduce

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "mrs/mapreduce/job_policy.hpp"
+#include "mrs/trace/decision.hpp"
 
 namespace mrs::sched {
 
@@ -11,6 +12,30 @@ using mapreduce::JobOrder;
 using mapreduce::JobRun;
 using mapreduce::jobs_for_maps;
 using mapreduce::jobs_for_reduces;
+using trace::DecisionOutcome;
+
+namespace {
+
+trace::PlacementDecisionRecord make_record(
+    Engine& engine, bool is_map, const JobRun* job, std::size_t task,
+    NodeId node, std::size_t candidates, std::size_t free_nodes, double cost,
+    double floor, int locality, DecisionOutcome outcome) {
+  trace::PlacementDecisionRecord rec;
+  rec.time = engine.now();
+  rec.is_map = is_map;
+  rec.job = job != nullptr ? job->id() : JobId::invalid();
+  rec.task = task;
+  rec.node = node;
+  rec.candidates = candidates;
+  rec.free_nodes = free_nodes;
+  rec.cost = cost;
+  rec.cost_avg = floor;
+  rec.locality = locality;
+  rec.outcome = outcome;
+  return rec;
+}
+
+}  // namespace
 
 void MinCostScheduler::on_heartbeat(Engine& engine, NodeId node) {
   while (engine.map_budget_left() > 0 &&
@@ -29,6 +54,14 @@ bool MinCostScheduler::try_map(Engine& engine, NodeId node) {
     const std::size_t local = job->next_local_map(node);
     if (local < job->map_count()) {
       engine.assign_map(*job, local, node);
+      if (decisions_ != nullptr) {
+        decisions_->record(make_record(
+            engine, /*is_map=*/true, job, local, node, /*candidates=*/0,
+            engine.cluster().nodes_with_free_map_slots().size(),
+            /*cost=*/0.0, /*floor=*/0.0,
+            static_cast<int>(job->map_state(local).locality),
+            DecisionOutcome::kLocalFastPath));
+      }
       return true;
     }
     const auto& free_nodes = engine.cluster().nodes_with_free_map_slots();
@@ -53,10 +86,32 @@ bool MinCostScheduler::try_map(Engine& engine, NodeId node) {
     // achievable cost; with floor == 0 any positive regret is over budget.
     if (cfg_.max_regret_ratio < 1e9 &&
         best_regret > cfg_.max_regret_ratio * best_floor) {
+      if (decisions_ != nullptr) {
+        decisions_->record(make_record(
+            engine, /*is_map=*/true, job, best_task, node,
+            job->unassigned_maps().size(), free_nodes.size(),
+            best_regret + best_floor, best_floor,
+            static_cast<int>(engine.map_locality(*job, best_task, node)),
+            DecisionOutcome::kThresholdSkip));
+      }
       continue;  // another free node is a much better home; leave the slot
+    }
+    if (decisions_ != nullptr) {
+      decisions_->record(make_record(
+          engine, /*is_map=*/true, job, best_task, node,
+          job->unassigned_maps().size(), free_nodes.size(),
+          best_regret + best_floor, best_floor,
+          static_cast<int>(engine.map_locality(*job, best_task, node)),
+          DecisionOutcome::kAssigned));
     }
     engine.assign_map(*job, best_task, node);
     return true;
+  }
+  if (decisions_ != nullptr) {
+    decisions_->record(make_record(
+        engine, /*is_map=*/true, nullptr, SIZE_MAX, node, 0,
+        engine.cluster().nodes_with_free_map_slots().size(), 0.0, 0.0, -1,
+        DecisionOutcome::kNoCandidate));
   }
   return false;
 }
@@ -92,8 +147,20 @@ bool MinCostScheduler::try_reduce(Engine& engine, NodeId node) {
       }
     }
     if (best_task == job->reduce_count()) continue;
+    if (decisions_ != nullptr) {
+      decisions_->record(make_record(
+          engine, /*is_map=*/false, job, best_task, node, unassigned.size(),
+          free_nodes.size(), best_regret, 0.0, -1,
+          DecisionOutcome::kAssigned));
+    }
     engine.assign_reduce(*job, best_task, node);
     return true;
+  }
+  if (decisions_ != nullptr) {
+    decisions_->record(make_record(
+        engine, /*is_map=*/false, nullptr, SIZE_MAX, node, 0,
+        engine.cluster().nodes_with_free_reduce_slots().size(), 0.0, 0.0, -1,
+        DecisionOutcome::kNoCandidate));
   }
   return false;
 }

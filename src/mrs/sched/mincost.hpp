@@ -31,11 +31,20 @@ class MinCostScheduler final : public mapreduce::TaskScheduler {
 
   void on_heartbeat(mapreduce::Engine& engine, NodeId node) override;
 
+  /// Records per-offer outcomes (local/regret assignment, regret-ratio
+  /// threshold skip, no candidate) for trace explainability. For this
+  /// deterministic baseline `cost` is the chosen placement's cost here
+  /// and `cost_avg` its best-anywhere floor; `p` stays -1.
+  void set_decision_log(trace::DecisionLog* log) override {
+    decisions_ = log;
+  }
+
  private:
   bool try_map(mapreduce::Engine& engine, NodeId node);
   bool try_reduce(mapreduce::Engine& engine, NodeId node);
 
   MinCostConfig cfg_;
+  trace::DecisionLog* decisions_ = nullptr;
 };
 
 }  // namespace mrs::sched

@@ -50,9 +50,10 @@ struct OpenSlice {
 
 }  // namespace
 
-std::string to_chrome_trace(std::span<const sim::TraceEvent> events,
-                            const Snapshot& snapshot,
-                            const TimeSeries& series) {
+std::string to_chrome_trace(
+    std::span<const sim::TraceEvent> events, const Snapshot& snapshot,
+    const TimeSeries& series,
+    std::span<const trace::PlacementDecisionRecord> decisions) {
   std::string out;
   append_process_name(out, kTasksPid, "cluster nodes (task slices)");
   append_process_name(out, kJobsPid, "jobs");
@@ -64,6 +65,12 @@ std::string to_chrome_trace(std::span<const sim::TraceEvent> events,
   std::map<std::string, OpenSlice> open_tasks;
   std::map<std::string, OpenSlice> open_jobs;
   long next_job_tid = 0;
+
+  // Flow arrows linking an aborted attempt to its re-execution: a kill
+  // opens a flow ("s") on the killed slice's track, the next assignment of
+  // the same subject closes it ("f") on the new node's track.
+  std::map<std::string, long> pending_retry;
+  long next_flow_id = 1;
 
   using sim::TraceEventKind;
   for (const auto& e : events) {
@@ -88,8 +95,19 @@ std::string to_chrome_trace(std::span<const sim::TraceEvent> events,
       }
       case TraceEventKind::kMapAssigned:
       case TraceEventKind::kReduceAssigned: {
-        open_tasks[e.subject] = {e.time, parse_long_field(e.detail, "node="),
-                                 e.detail};
+        const long tid = parse_long_field(e.detail, "node=");
+        open_tasks[e.subject] = {e.time, tid, e.detail};
+        const auto flow = pending_retry.find(e.subject);
+        if (flow != pending_retry.end()) {
+          append_event(
+              out,
+              strf("{\"name\":\"retry\",\"cat\":\"retry\",\"ph\":\"f\","
+                   "\"bp\":\"e\",\"id\":%ld,\"ts\":%s,\"pid\":%d,"
+                   "\"tid\":%ld}",
+                   flow->second, us(e.time).c_str(), kTasksPid,
+                   tid < 0 ? 0 : tid));
+          pending_retry.erase(flow);
+        }
         break;
       }
       case TraceEventKind::kMapFinished:
@@ -114,6 +132,16 @@ std::string to_chrome_trace(std::span<const sim::TraceEvent> events,
                  it->second.tid < 0 ? 0 : it->second.tid,
                  json_escape(it->second.detail).c_str(),
                  json_escape(e.detail).c_str()));
+        if (killed) {
+          const long id = next_flow_id++;
+          append_event(
+              out,
+              strf("{\"name\":\"retry\",\"cat\":\"retry\",\"ph\":\"s\","
+                   "\"id\":%ld,\"ts\":%s,\"pid\":%d,\"tid\":%ld}",
+                   id, us(e.time).c_str(), kTasksPid,
+                   it->second.tid < 0 ? 0 : it->second.tid));
+          pending_retry[e.subject] = id;
+        }
         open_tasks.erase(it);
         break;
       }
@@ -121,6 +149,7 @@ std::string to_chrome_trace(std::span<const sim::TraceEvent> events,
       case TraceEventKind::kNodeFailed:
       case TraceEventKind::kNodeRecovered: {
         long tid = parse_long_field(e.detail, "node=");
+        if (tid < 0) tid = parse_long_field(e.detail, "backup-node=");
         if (tid < 0) tid = parse_long_field(e.subject, "node/");
         append_event(
             out,
@@ -130,9 +159,47 @@ std::string to_chrome_trace(std::span<const sim::TraceEvent> events,
                  to_string(e.kind), json_escape(e.subject).c_str(),
                  us(e.time).c_str(), kTasksPid, tid < 0 ? 0 : tid,
                  json_escape(e.detail).c_str()));
+        // Speculation flow: tie the still-running primary attempt's slice
+        // to the backup launch on the other node's track.
+        if (e.kind == TraceEventKind::kSpeculativeLaunch) {
+          const auto primary = open_tasks.find(e.subject);
+          if (primary != open_tasks.end()) {
+            const long id = next_flow_id++;
+            append_event(
+                out,
+                strf("{\"name\":\"speculate\",\"cat\":\"speculation\","
+                     "\"ph\":\"s\",\"id\":%ld,\"ts\":%s,\"pid\":%d,"
+                     "\"tid\":%ld}",
+                     id, us(e.time).c_str(), kTasksPid,
+                     primary->second.tid < 0 ? 0 : primary->second.tid));
+            append_event(
+                out,
+                strf("{\"name\":\"speculate\",\"cat\":\"speculation\","
+                     "\"ph\":\"f\",\"bp\":\"e\",\"id\":%ld,\"ts\":%s,"
+                     "\"pid\":%d,\"tid\":%ld}",
+                     id, us(e.time).c_str(), kTasksPid, tid < 0 ? 0 : tid));
+          }
+        }
         break;
       }
     }
+  }
+
+  // Placement decision records as thread-scoped instants on the offering
+  // node's track — hovering one shows why a slot was (not) filled.
+  for (const auto& d : decisions) {
+    append_event(
+        out,
+        strf("{\"name\":\"decision: %s\",\"cat\":\"decision\",\"ph\":\"i\","
+             "\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":%ld,\"args\":"
+             "{\"kind\":\"%s\",\"job\":%lld,\"task\":%lld,"
+             "\"candidates\":%zu,\"p\":%.17g,\"cost\":%.17g}}",
+             trace::to_string(d.outcome), us(d.time).c_str(), kTasksPid,
+             d.node.valid() ? static_cast<long>(d.node.value()) : 0L,
+             d.is_map ? "map" : "reduce",
+             d.job.valid() ? static_cast<long long>(d.job.value()) : -1LL,
+             d.task == SIZE_MAX ? -1LL : static_cast<long long>(d.task),
+             d.candidates, d.p, d.cost));
   }
 
   // Sampled gauges as counter tracks.
@@ -166,14 +233,15 @@ std::string to_chrome_trace(std::span<const sim::TraceEvent> events,
   return "{\"traceEvents\":[\n" + out + "\n],\"displayTimeUnit\":\"ms\"}\n";
 }
 
-void write_chrome_trace(const std::string& path,
-                        std::span<const sim::TraceEvent> events,
-                        const Snapshot& snapshot, const TimeSeries& series) {
+void write_chrome_trace(
+    const std::string& path, std::span<const sim::TraceEvent> events,
+    const Snapshot& snapshot, const TimeSeries& series,
+    std::span<const trace::PlacementDecisionRecord> decisions) {
   std::ofstream out(path);
   if (!out) {
     throw std::runtime_error("write_chrome_trace: cannot open " + path);
   }
-  out << to_chrome_trace(events, snapshot, series);
+  out << to_chrome_trace(events, snapshot, series, decisions);
   if (!out) {
     throw std::runtime_error("write_chrome_trace: write failed: " + path);
   }

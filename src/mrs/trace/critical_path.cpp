@@ -1,0 +1,196 @@
+#include "mrs/trace/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "mrs/common/stats.hpp"
+#include "mrs/common/strfmt.hpp"
+
+namespace mrs::trace {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+constexpr std::size_t kQueue = 0;
+constexpr std::size_t kNetwork = 1;
+constexpr std::size_t kCompute = 2;
+constexpr std::size_t kRetry = 3;
+
+/// Charge the window between a killed attempt and the critical attempt's
+/// placement: time inside earlier attempts is retry, gaps between them
+/// are queue. Attempts still open at `t` (the losing side of a
+/// speculation race) charge their whole pre-`t` run to retry — that is
+/// the straggling-primary time the backup had to paper over.
+void blame_prior_attempts(const TaskSpans& task, const AttemptSpan* critical,
+                          Seconds placement, Seconds submit, JobBlame* b) {
+  double t = placement;
+  for (auto it = task.attempts.rbegin(); it != task.attempts.rend(); ++it) {
+    const AttemptSpan& prev = *it;
+    if (&prev == critical) continue;
+    if (prev.assigned >= t) continue;  // started after the critical attempt
+    const double prev_end =
+        (prev.closed && prev.end >= 0.0) ? std::min(prev.end, t) : t;
+    if (prev_end < t) b->bucket[kQueue] += t - prev_end;
+    b->bucket[kRetry] += std::max(0.0, prev_end - prev.assigned);
+    t = prev.assigned;
+  }
+  b->bucket[kQueue] += std::max(0.0, t - submit);
+}
+
+/// Charge a map attempt's run [assigned, end]: startup + compute, with
+/// the fetch stall beyond the compute floor as network for remote maps.
+void blame_map_run(const AttemptSpan& a, Seconds end, JobBlame* b) {
+  const double ready =
+      (a.ready >= 0.0 && a.ready <= end) ? a.ready : a.assigned;
+  const double run = std::max(0.0, end - ready);
+  if (a.remote_fetch) {
+    const double compute = std::min(std::max(a.nominal_compute, 0.0), run);
+    b->bucket[kCompute] += compute;
+    b->bucket[kNetwork] += run - compute;
+  } else {
+    b->bucket[kCompute] += run;
+  }
+  b->bucket[kCompute] += std::max(0.0, ready - a.assigned);
+}
+
+}  // namespace
+
+std::size_t JobBlame::dominant() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < kBlameBuckets; ++i) {
+    if (bucket[i] > bucket[best]) best = i;
+  }
+  return best;
+}
+
+std::optional<JobBlame> blame_job(const JobTrace& job) {
+  if (!job.activated || job.finish < 0.0 || job.aborted) return std::nullopt;
+
+  JobBlame b;
+  b.job = job.job;
+  b.name = job.name;
+  b.tenant = job.tenant;
+  b.response = job.finish - job.submit;
+
+  // The critical attempt is the last-finishing final attempt.
+  const TaskSpans* crit_task = nullptr;
+  const AttemptSpan* crit = nullptr;
+  bool crit_is_reduce = false;
+  auto consider = [&](const TaskSpans& t, bool is_reduce) {
+    const AttemptSpan* f = t.final_attempt();
+    if (f == nullptr) return;
+    if (crit == nullptr || f->end > crit->end) {
+      crit = f;
+      crit_task = &t;
+      crit_is_reduce = is_reduce;
+    }
+  };
+  for (const TaskSpans& t : job.maps) consider(t, false);
+  for (const TaskSpans& t : job.reduces) consider(t, true);
+  if (crit == nullptr) {  // no tasks finished yet the job closed: all wait
+    b.bucket[kQueue] = b.response;
+    return b;
+  }
+  b.critical_node = crit->node;
+
+  double frontier = job.finish;
+  if (crit_is_reduce) {
+    const AttemptSpan& r = *crit;
+    const double sd = (r.shuffle_done >= 0.0 && r.shuffle_done <= frontier)
+                          ? r.shuffle_done
+                          : r.assigned;
+    const double ready =
+        (r.ready >= 0.0 && r.ready <= sd) ? r.ready : r.assigned;
+    b.bucket[kCompute] += frontier - sd;  // sort + reduce compute
+
+    // Did a late map output gate the shuffle? Find the latest final map
+    // attempt landing inside the shuffle window; if one exists, the
+    // shuffle tail after it is network and the walk descends into that
+    // map's chain — the pre-barrier time belongs to the map, not to the
+    // (concurrently waiting) reduce.
+    const TaskSpans* blocking_task = nullptr;
+    const AttemptSpan* blocking = nullptr;
+    for (const TaskSpans& mt : job.maps) {
+      const AttemptSpan* f = mt.final_attempt();
+      if (f == nullptr) continue;
+      if (f->end > ready + kEps && f->end <= sd + kEps &&
+          (blocking == nullptr || f->end > blocking->end)) {
+        blocking = f;
+        blocking_task = &mt;
+      }
+    }
+    if (blocking != nullptr) {
+      const double barrier = std::min(sd, blocking->end);
+      b.bucket[kNetwork] += sd - barrier;
+      blame_map_run(*blocking, barrier, &b);
+      blame_prior_attempts(*blocking_task, blocking, blocking->assigned,
+                           job.submit, &b);
+      return b;
+    }
+    // Shuffle paced by its own transfers: the whole window is network.
+    b.bucket[kNetwork] += sd - ready;
+    b.bucket[kCompute] += std::max(0.0, ready - r.assigned);  // startup
+    frontier = r.assigned;
+  } else {
+    blame_map_run(*crit, frontier, &b);
+    frontier = crit->assigned;
+  }
+  blame_prior_attempts(*crit_task, crit, frontier, job.submit, &b);
+  return b;
+}
+
+CriticalPathSummary summarize_critical_paths(
+    const std::vector<JobBlame>& blames,
+    const std::vector<std::string>& node_class_of) {
+  CriticalPathSummary s;
+  std::vector<double> shares[kBlameBuckets];
+  std::map<std::size_t, BlameSlice> tenants;
+  std::map<std::string, BlameSlice> classes;
+
+  for (const JobBlame& b : blames) {
+    ++s.jobs;
+    s.response += b.response;
+    ++s.dominant_count[b.dominant()];
+    for (std::size_t i = 0; i < kBlameBuckets; ++i) {
+      s.bucket[i] += b.bucket[i];
+      shares[i].push_back(b.response > 0.0 ? b.bucket[i] / b.response : 0.0);
+    }
+    BlameSlice& ten = tenants[b.tenant.valid() ? b.tenant.value() : 0];
+    ++ten.jobs;
+    ten.response += b.response;
+    for (std::size_t i = 0; i < kBlameBuckets; ++i) {
+      ten.bucket[i] += b.bucket[i];
+    }
+    if (b.critical_node.valid() &&
+        b.critical_node.value() < node_class_of.size() &&
+        !node_class_of[b.critical_node.value()].empty()) {
+      BlameSlice& cls = classes[node_class_of[b.critical_node.value()]];
+      ++cls.jobs;
+      cls.response += b.response;
+      for (std::size_t i = 0; i < kBlameBuckets; ++i) {
+        cls.bucket[i] += b.bucket[i];
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < kBlameBuckets; ++i) {
+    if (shares[i].empty()) continue;
+    double sum = 0.0;
+    for (double v : shares[i]) sum += v;
+    s.shares[i].mean = sum / static_cast<double>(shares[i].size());
+    s.shares[i].p50 = percentile(shares[i], 0.50);
+    s.shares[i].p95 = percentile(shares[i], 0.95);
+    s.shares[i].p99 = percentile(shares[i], 0.99);
+  }
+  for (auto& [id, slice] : tenants) {
+    slice.name = strf("tenant %zu", id);
+    s.tenants.push_back(std::move(slice));
+  }
+  for (auto& [name, slice] : classes) {
+    slice.name = name;
+    s.classes.push_back(std::move(slice));
+  }
+  return s;
+}
+
+}  // namespace mrs::trace

@@ -1,0 +1,100 @@
+// Critical-path extraction: attribute each finished job's response time
+// to queueing / network / compute / straggler-retry buckets.
+//
+// blame_job walks backwards from the job's last-finishing attempt and
+// partitions [submit, finish] exactly (no overlaps, no gaps), so the
+// four buckets sum to the measured response time by construction:
+//
+//   - queue:   submit -> first placement of the critical task, plus any
+//              gaps between a killed attempt and its re-placement
+//              (includes admission deferral time)
+//   - network: remote-map fetch stall beyond the compute floor, and the
+//              shuffle tail after the last blocking map output landed
+//   - compute: task startup, map compute, reduce sort+reduce
+//   - retry:   time burned inside killed attempts of the critical task
+//              (failures, speculation losers, straggling primaries)
+//
+// When the critical attempt is a reduce whose shuffle was gated on a
+// late map output, the walk descends into that map's attempt chain, so
+// a "slow job" is blamed on the segment that actually delayed it.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mrs/common/ids.hpp"
+#include "mrs/common/units.hpp"
+#include "mrs/trace/span.hpp"
+
+namespace mrs::trace {
+
+inline constexpr std::size_t kBlameBuckets = 4;
+inline constexpr const char* kBlameBucketNames[kBlameBuckets] = {
+    "queue", "network", "compute", "retry"};
+
+/// Per-job blame decomposition. queue+network+compute+retry == response
+/// (exact partition; tested to 1e-6).
+struct JobBlame {
+  JobId job;
+  std::string name;
+  TenantId tenant;
+  NodeId critical_node;  ///< node of the last-finishing attempt
+  Seconds response = 0.0;
+  Seconds bucket[kBlameBuckets] = {};
+
+  [[nodiscard]] Seconds queue() const { return bucket[0]; }
+  [[nodiscard]] Seconds network() const { return bucket[1]; }
+  [[nodiscard]] Seconds compute() const { return bucket[2]; }
+  [[nodiscard]] Seconds retry() const { return bucket[3]; }
+
+  /// Index into kBlameBucketNames of the largest bucket.
+  [[nodiscard]] std::size_t dominant() const;
+};
+
+/// nullopt when the job never finished (truncated, aborted, or never
+/// activated).
+[[nodiscard]] std::optional<JobBlame> blame_job(const JobTrace& job);
+
+/// Distribution of per-job blame shares for one bucket.
+struct BlameShareStats {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Blame aggregated over a slice of jobs (a tenant, a node class).
+struct BlameSlice {
+  std::string name;
+  std::size_t jobs = 0;
+  Seconds response = 0.0;
+  Seconds bucket[kBlameBuckets] = {};
+  [[nodiscard]] double share(std::size_t b) const {
+    return response > 0.0 ? bucket[b] / response : 0.0;
+  }
+};
+
+/// Per-run aggregate surfaced in ExperimentResult and the CLI summary.
+struct CriticalPathSummary {
+  std::size_t jobs = 0;
+  Seconds response = 0.0;  ///< summed response time over blamed jobs
+  Seconds bucket[kBlameBuckets] = {};
+  std::size_t dominant_count[kBlameBuckets] = {};
+  BlameShareStats shares[kBlameBuckets];
+  std::vector<BlameSlice> tenants;  ///< one per tenant, when > 1 tenant
+  std::vector<BlameSlice> classes;  ///< one per node class, when known
+
+  [[nodiscard]] double share(std::size_t b) const {
+    return response > 0.0 ? bucket[b] / response : 0.0;
+  }
+};
+
+/// Aggregate per-job blames. `node_class_of` maps node index to class
+/// name for the per-node-class slices (empty disables that slicing).
+[[nodiscard]] CriticalPathSummary summarize_critical_paths(
+    const std::vector<JobBlame>& blames,
+    const std::vector<std::string>& node_class_of = {});
+
+}  // namespace mrs::trace

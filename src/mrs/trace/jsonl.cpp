@@ -1,0 +1,111 @@
+#include "mrs/trace/jsonl.hpp"
+
+#include <fstream>
+
+#include "mrs/common/check.hpp"
+#include "mrs/common/strfmt.hpp"
+
+namespace mrs::trace {
+namespace {
+
+// Minimal JSON string escape for job/class names (telemetry's escaper
+// lives a layer above this library).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Round-trippable double formatting (matches the telemetry exporter).
+std::string num(double v) { return strf("%.17g", v); }
+
+}  // namespace
+
+void to_jsonl(const std::vector<JobTrace>& jobs,
+              const std::vector<PlacementDecisionRecord>& decisions,
+              const std::vector<JobBlame>& blames, std::ostream& out) {
+  for (const JobTrace& jt : jobs) {
+    if (!jt.activated) continue;
+    out << "{\"type\":\"job\",\"job\":" << jt.job.value() << ",\"name\":\""
+        << escape(jt.name) << "\",\"tenant\":"
+        << (jt.tenant.valid() ? jt.tenant.value() : 0)
+        << ",\"submit\":" << num(jt.submit) << ",\"admitted\":"
+        << num(jt.admitted) << ",\"finish\":" << num(jt.finish)
+        << ",\"aborted\":" << (jt.aborted ? 1 : 0)
+        << ",\"maps\":" << jt.maps.size()
+        << ",\"reduces\":" << jt.reduces.size() << "}\n";
+    auto spans = [&](const std::vector<TaskSpans>& tasks, const char* kind) {
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        for (const AttemptSpan& a : tasks[i].attempts) {
+          out << "{\"type\":\"span\",\"job\":" << jt.job.value()
+              << ",\"kind\":\"" << kind << "\",\"task\":" << i
+              << ",\"attempt\":" << a.attempt << ",\"node\":"
+              << (a.node.valid() ? static_cast<long long>(a.node.value()) : -1)
+              << ",\"backup\":" << (a.backup ? 1 : 0)
+              << ",\"locality\":" << a.locality
+              << ",\"assigned\":" << num(a.assigned)
+              << ",\"ready\":" << num(a.ready)
+              << ",\"shuffle_done\":" << num(a.shuffle_done)
+              << ",\"end\":" << num(a.end) << ",\"state\":\""
+              << (a.finished ? "finished" : (a.closed ? "killed" : "open"))
+              << "\",\"remote\":" << (a.remote_fetch ? 1 : 0)
+              << ",\"straggler\":" << (a.straggler ? 1 : 0)
+              << ",\"nominal\":" << num(a.nominal_compute) << "}\n";
+        }
+      }
+    };
+    spans(jt.maps, "map");
+    spans(jt.reduces, "reduce");
+  }
+  for (const PlacementDecisionRecord& d : decisions) {
+    out << "{\"type\":\"decision\",\"time\":" << num(d.time)
+        << ",\"kind\":\"" << (d.is_map ? "map" : "reduce") << "\",\"job\":"
+        << (d.job.valid() ? static_cast<long long>(d.job.value()) : -1)
+        << ",\"task\":"
+        << (d.task == SIZE_MAX ? -1 : static_cast<long long>(d.task))
+        << ",\"node\":"
+        << (d.node.valid() ? static_cast<long long>(d.node.value()) : -1)
+        << ",\"candidates\":" << d.candidates
+        << ",\"free_nodes\":" << d.free_nodes << ",\"cost\":" << num(d.cost)
+        << ",\"cost_avg\":" << num(d.cost_avg) << ",\"p\":" << num(d.p)
+        << ",\"locality\":" << d.locality << ",\"outcome\":\""
+        << to_string(d.outcome) << "\"}\n";
+  }
+  for (const JobBlame& b : blames) {
+    out << "{\"type\":\"blame\",\"job\":" << b.job.value() << ",\"name\":\""
+        << escape(b.name) << "\",\"tenant\":"
+        << (b.tenant.valid() ? b.tenant.value() : 0) << ",\"critical_node\":"
+        << (b.critical_node.valid()
+                ? static_cast<long long>(b.critical_node.value())
+                : -1)
+        << ",\"response\":" << num(b.response)
+        << ",\"queue\":" << num(b.queue())
+        << ",\"network\":" << num(b.network())
+        << ",\"compute\":" << num(b.compute())
+        << ",\"retry\":" << num(b.retry()) << "}\n";
+  }
+}
+
+void write_jsonl(const std::string& path, const std::vector<JobTrace>& jobs,
+                 const std::vector<PlacementDecisionRecord>& decisions,
+                 const std::vector<JobBlame>& blames) {
+  std::ofstream out(path);
+  MRS_REQUIRE(out.is_open());
+  to_jsonl(jobs, decisions, blames, out);
+}
+
+}  // namespace mrs::trace

@@ -1,0 +1,137 @@
+#include "mrs/trace/recorder.hpp"
+
+#include "mrs/common/check.hpp"
+
+namespace mrs::trace {
+
+JobTrace& TraceRecorder::job(JobId id) {
+  MRS_REQUIRE(id.valid());
+  if (id.value() >= jobs_.size()) jobs_.resize(id.value() + 1);
+  return jobs_[id.value()];
+}
+
+AttemptSpan* TraceRecorder::open_attempt(TaskSpans& task, bool backup) {
+  for (auto it = task.attempts.rbegin(); it != task.attempts.rend(); ++it) {
+    if (it->backup == backup && !it->closed) return &*it;
+  }
+  return nullptr;
+}
+
+void TraceRecorder::job_activated(JobId id, const std::string& name,
+                                  TenantId tenant, std::size_t map_count,
+                                  std::size_t reduce_count, Seconds submit,
+                                  Seconds now) {
+  JobTrace& jt = job(id);
+  jt.job = id;
+  jt.name = name;
+  jt.tenant = tenant;
+  jt.submit = submit;
+  jt.admitted = now;
+  jt.activated = true;
+  jt.maps.resize(map_count);
+  jt.reduces.resize(reduce_count);
+}
+
+void TraceRecorder::job_finished(JobId id, Seconds now, bool aborted) {
+  JobTrace& jt = job(id);
+  jt.finish = now;
+  jt.aborted = aborted;
+}
+
+void TraceRecorder::map_assigned(JobId id, std::size_t task, NodeId node,
+                                 int locality, bool backup, Seconds now) {
+  JobTrace& jt = job(id);
+  MRS_REQUIRE(task < jt.maps.size());
+  AttemptSpan a;
+  a.attempt = jt.maps[task].attempts.size() + 1;
+  a.node = node;
+  a.locality = locality;
+  a.backup = backup;
+  a.assigned = now;
+  jt.maps[task].attempts.push_back(a);
+}
+
+void TraceRecorder::map_running(JobId id, std::size_t task, bool backup,
+                                bool remote, Seconds nominal, bool straggler,
+                                Seconds now) {
+  JobTrace& jt = job(id);
+  MRS_REQUIRE(task < jt.maps.size());
+  if (AttemptSpan* a = open_attempt(jt.maps[task], backup)) {
+    a->ready = now;
+    a->remote_fetch = remote;
+    a->nominal_compute = nominal;
+    a->straggler = straggler;
+  }
+}
+
+void TraceRecorder::map_finished(JobId id, std::size_t task, bool backup,
+                                 Seconds now) {
+  JobTrace& jt = job(id);
+  MRS_REQUIRE(task < jt.maps.size());
+  for (AttemptSpan& a : jt.maps[task].attempts) {
+    if (a.closed) continue;
+    a.closed = true;
+    a.end = now;
+    a.finished = (a.backup == backup);  // losing racer is implicitly killed
+  }
+}
+
+void TraceRecorder::map_killed(JobId id, std::size_t task, bool backup,
+                               Seconds now) {
+  JobTrace& jt = job(id);
+  MRS_REQUIRE(task < jt.maps.size());
+  if (AttemptSpan* a = open_attempt(jt.maps[task], backup)) {
+    a->closed = true;
+    a->end = now;
+  }
+}
+
+void TraceRecorder::reduce_assigned(JobId id, std::size_t task, NodeId node,
+                                    int locality, Seconds now) {
+  JobTrace& jt = job(id);
+  MRS_REQUIRE(task < jt.reduces.size());
+  AttemptSpan a;
+  a.attempt = jt.reduces[task].attempts.size() + 1;
+  a.node = node;
+  a.locality = locality;
+  a.assigned = now;
+  jt.reduces[task].attempts.push_back(a);
+}
+
+void TraceRecorder::reduce_shuffling(JobId id, std::size_t task, Seconds now) {
+  JobTrace& jt = job(id);
+  MRS_REQUIRE(task < jt.reduces.size());
+  if (AttemptSpan* a = open_attempt(jt.reduces[task], false)) a->ready = now;
+}
+
+void TraceRecorder::reduce_shuffle_done(JobId id, std::size_t task,
+                                        Seconds compute_duration,
+                                        Seconds now) {
+  JobTrace& jt = job(id);
+  MRS_REQUIRE(task < jt.reduces.size());
+  if (AttemptSpan* a = open_attempt(jt.reduces[task], false)) {
+    a->shuffle_done = now;
+    a->nominal_compute = compute_duration;
+  }
+}
+
+void TraceRecorder::reduce_finished(JobId id, std::size_t task, Seconds now) {
+  JobTrace& jt = job(id);
+  MRS_REQUIRE(task < jt.reduces.size());
+  if (AttemptSpan* a = open_attempt(jt.reduces[task], false)) {
+    a->closed = true;
+    a->end = now;
+    a->finished = true;
+  }
+}
+
+void TraceRecorder::reduce_killed(JobId id, std::size_t task, Seconds now) {
+  JobTrace& jt = job(id);
+  MRS_REQUIRE(task < jt.reduces.size());
+  if (AttemptSpan* a = open_attempt(jt.reduces[task], false)) {
+    a->closed = true;
+    a->end = now;
+  }
+}
+
+}  // namespace mrs::trace

@@ -15,6 +15,12 @@ per pair:
 Gated pairs: the homogeneous saturated scan (BM_PnaHeartbeatSaturated)
 and the heterogeneous-cluster blended-cost scan (BM_PnaHeartbeatHetero).
 
+Single benchmarks in SINGLES get only the baseline-floor gate (no /0
+vs /1 ratio requirement): BM_PnaHeartbeatTraced/0 pins the cost of the
+tracing-disabled heartbeat path — its /1 sibling attaches the causal
+tracer and is expected to run at ~1x, so a ratio gate would be
+meaningless there.
+
 PNATS_PERF_REGEN=1 (or a missing baseline file) rewrites the baseline
 from the current run instead of comparing — do this once per machine
 and whenever an intentional perf change lands.
@@ -28,6 +34,9 @@ MAX_REGRESSION = 0.20   # and within 20% of the checked-in baseline
 
 # Benchmark families gated as naive(/0) vs incremental(/1) pairs.
 PAIRS = ["BM_PnaHeartbeatSaturated", "BM_PnaHeartbeatHetero"]
+
+# Individual benchmarks gated only against the checked-in baseline.
+SINGLES = ["BM_PnaHeartbeatTraced/0"]
 
 
 def items_per_second(report, name):
@@ -55,6 +64,10 @@ def main():
         if ratio < MIN_RATIO:
             sys.exit(f"check_perf: FAIL - {family} incremental/naive ratio "
                      f"{ratio:.2f}x is below the required {MIN_RATIO:.1f}x")
+
+    for name in SINGLES:
+        incremental[name] = items_per_second(report, name)
+        print(f"check_perf: {name}: {incremental[name]:,.0f} hb/s")
 
     regen = os.environ.get("PNATS_PERF_REGEN", "0") not in ("", "0")
     if regen or not os.path.exists(baseline_path):

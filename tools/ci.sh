@@ -3,9 +3,14 @@
 #   1. tier-1: configure + build + ctest (the gate every change must pass)
 #   2. telemetry smoke: a small streaming run must produce parseable
 #      JSONL + Chrome-trace output (validated with python3 when present)
-#   3. perf smoke: bench_micro_scheduler's saturated-heartbeat case must
+#   3. trace smoke: a --trace-out run must produce a causal trace that
+#      trace_analyze accepts (per-job blame buckets summing to the
+#      measured response time, shares summing to ~100%)
+#   4. perf smoke: bench_micro_scheduler's saturated-heartbeat case must
 #      keep incremental scoring >= 2x the naive path and within 20% of
-#      tools/perf_baseline.json (PNATS_PERF_REGEN=1 refreshes it)
+#      tools/perf_baseline.json (PNATS_PERF_REGEN=1 refreshes it); the
+#      tracing-disabled heartbeat (BM_PnaHeartbeatTraced/0) is gated
+#      against the same baseline
 #   4. ASan/UBSan build of the test suite (PNATS_SANITIZE=asan), catching
 #      memory and UB bugs the plain build cannot
 #   5. TSan build running the fast-vs-naive equivalence suite (the
@@ -51,6 +56,35 @@ trace = json.load(open(d + "/perfetto.json"))
 assert trace["traceEvents"], "empty perfetto trace"
 print(f"telemetry smoke: {len(lines)} jsonl lines, "
       f"{len(trace['traceEvents'])} trace events")
+PY
+fi
+
+echo "==> trace smoke: causal trace analyzable, blame partition exact"
+# A saturated stream (past the ~600-650 jobs/h knee of this setup) with
+# the causal tracer on: trace_analyze re-checks every job's blame
+# partition (queue+network+compute+retry == response) and exits non-zero
+# on any mismatch; the python gate asserts the aggregate shares sum to
+# ~100% of total response time.
+./build/tools/pnats_sim --arrivals poisson --rate 780 --duration 600 \
+  --nodes 12 --job-scale 0.05 --warmup 100 --seed 42 \
+  --log-level warn --quiet --trace-out "$SMOKE_DIR/causal.jsonl"
+test -s "$SMOKE_DIR/causal.jsonl"
+grep -q '"type":"span"' "$SMOKE_DIR/causal.jsonl"
+grep -q '"type":"decision"' "$SMOKE_DIR/causal.jsonl"
+grep -q '"type":"blame"' "$SMOKE_DIR/causal.jsonl"
+./build/tools/trace_analyze "$SMOKE_DIR/causal.jsonl" --top 3
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SMOKE_DIR/causal.jsonl" <<'PY'
+import json, sys
+blames = [json.loads(l) for l in open(sys.argv[1])
+          if '"type":"blame"' in l]
+assert blames, "no blame records in the causal trace"
+total = sum(b["response"] for b in blames)
+share = sum(b["queue"] + b["network"] + b["compute"] + b["retry"]
+            for b in blames) / total
+assert abs(share - 1.0) < 1e-6, f"blame shares sum to {share:.6f}, not 1"
+print(f"trace smoke: {len(blames)} blamed jobs, "
+      f"shares sum to {100.0 * share:.4f}% of {total:.0f}s response")
 PY
 fi
 
@@ -131,7 +165,7 @@ echo "hetero smoke: bench_out/hetero_sweep_quick.csv written"
 
 echo "==> perf smoke: incremental scoring vs naive heartbeat path"
 ./build/bench/bench_micro_scheduler \
-  --benchmark_filter='BM_PnaHeartbeat(Saturated|Hetero)' \
+  --benchmark_filter='BM_PnaHeartbeat(Saturated|Hetero|Traced)' \
   --benchmark_format=json >"$SMOKE_DIR/perf.json"
 if command -v python3 >/dev/null 2>&1; then
   python3 tools/check_perf.py "$SMOKE_DIR/perf.json" tools/perf_baseline.json

@@ -49,6 +49,11 @@
 //                         (load at ui.perfetto.dev or chrome://tracing)
 //     --sample-period S   gauge sampling period in sim-seconds (default 10
 //                         when --telemetry-out/--perfetto-out is set)
+//     --trace-out F       write the causal trace JSONL (span trees,
+//                         placement decision records, per-job critical-path
+//                         blame; feed to trace_analyze — docs/tracing.md)
+//     --sample-node-slots append per-node busy/free slot gauge columns to
+//                         the sampled time-series
 //     --log-level NAME    trace|debug|info|warn|off (default warn)
 //     --quiet             summary line only
 //     --help
@@ -122,6 +127,7 @@ using namespace mrs;
       "                 [--blacklist-failures N] [--probation S]\n"
       "                 [--out DIR] [--trace FILE] [--telemetry-out FILE]\n"
       "                 [--perfetto-out FILE] [--sample-period S]\n"
+      "                 [--trace-out FILE] [--sample-node-slots]\n"
       "                 [--log-level trace|debug|info|warn|off] [--quiet]\n"
       "                 [--arrivals poisson|mmpp|trace] [--rate JOBS/H]\n"
       "                 [--duration S] [--warmup S] [--arrival-trace CSV]\n"
@@ -331,6 +337,33 @@ void print_class_summary(const driver::ExperimentResult& result) {
   }
 }
 
+/// Per-run critical-path blame aggregate (printed only when --trace-out
+/// enabled the causal tracer). Shares are fractions of total response
+/// time; "dom" counts jobs whose largest bucket is that one.
+void print_critical_path_summary(const driver::ExperimentResult& result) {
+  if (!result.tracing_enabled) return;
+  const auto& cp = result.critical_path;
+  if (cp.jobs == 0) return;
+  std::printf("  critical-path n=%zu:", cp.jobs);
+  for (std::size_t b = 0; b < trace::kBlameBuckets; ++b) {
+    std::printf(" %s=%.1f%%(dom %zu)", trace::kBlameBucketNames[b],
+                100.0 * cp.share(b), cp.dominant_count[b]);
+  }
+  std::printf("\n");
+  for (const auto& t : cp.tenants) {
+    std::printf("    %-12s n=%-5zu queue=%.1f%% network=%.1f%% "
+                "compute=%.1f%% retry=%.1f%%\n",
+                t.name.c_str(), t.jobs, 100.0 * t.share(0),
+                100.0 * t.share(1), 100.0 * t.share(2), 100.0 * t.share(3));
+  }
+  for (const auto& c : cp.classes) {
+    std::printf("    class %-6s n=%-5zu queue=%.1f%% network=%.1f%% "
+                "compute=%.1f%% retry=%.1f%%\n",
+                c.name.c_str(), c.jobs, 100.0 * c.share(0),
+                100.0 * c.share(1), 100.0 * c.share(2), 100.0 * c.share(3));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -340,7 +373,7 @@ int main(int argc, char** argv) {
   std::string distance = "load-aware";
   std::string out_dir, trace_path, jobs_file;
   std::string arrivals_mode, arrival_trace;
-  std::string telemetry_out, perfetto_out;
+  std::string telemetry_out, perfetto_out, trace_out;
   std::string admission = "always-admit";
   std::string fair_order = "fair";
   std::string tenant_rates, tenant_processes, tenant_bursts;
@@ -358,6 +391,7 @@ int main(int argc, char** argv) {
   double admission_rate = 600.0, probation = 300.0;
   double cost_mix = 0.0;
   bool speculation = false, quiet = false, blacklist = false;
+  bool sample_node_slots = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -397,6 +431,8 @@ int main(int argc, char** argv) {
     else if (arg == "--trace") trace_path = next();
     else if (arg == "--telemetry-out") telemetry_out = next();
     else if (arg == "--perfetto-out") perfetto_out = next();
+    else if (arg == "--trace-out") trace_out = next();
+    else if (arg == "--sample-node-slots") sample_node_slots = true;
     else if (arg == "--sample-period") sample_period = std::stod(next());
     else if (arg == "--log-level") set_log_level(parse_log_level(next()));
     else if (arg == "--arrivals") arrivals_mode = next();
@@ -475,6 +511,8 @@ int main(int argc, char** argv) {
   cfg.trace_path = trace_path;
   cfg.telemetry_path = telemetry_out;
   cfg.perfetto_path = perfetto_out;
+  cfg.causal_trace_path = trace_out;
+  cfg.sample_node_slots = sample_node_slots;
   if (sample_period != -1.0 && sample_period < 0.0) {
     std::fputs("--sample-period must be >= 0 sim-seconds\n", stderr);
     usage(2);
@@ -662,6 +700,7 @@ int main(int argc, char** argv) {
       }
     }
     print_class_summary(stream.run);
+    print_critical_path_summary(stream.run);
     if (!out_dir.empty()) {
       driver::save_result(out_dir, "stream", stream.run);
       std::printf("records saved under %s/stream_*.csv\n", out_dir.c_str());
@@ -672,6 +711,11 @@ int main(int argc, char** argv) {
     }
     if (!perfetto_out.empty()) {
       std::printf("perfetto trace written to %s\n", perfetto_out.c_str());
+    }
+    if (!trace_out.empty()) {
+      std::printf("causal trace written to %s (%zu jobs, %zu decisions)\n",
+                  trace_out.c_str(), stream.run.job_traces.size(),
+                  stream.run.decisions.size());
     }
     return stream.run.completed ? 0 : 1;
   }
@@ -701,6 +745,7 @@ int main(int argc, char** argv) {
               loc.node_local_pct,
               100.0 * result.utilization.map_utilization());
   print_class_summary(result);
+  print_critical_path_summary(result);
 
   if (!quiet) {
     for (const auto& j : result.job_records) {
@@ -725,6 +770,11 @@ int main(int argc, char** argv) {
   }
   if (!perfetto_out.empty()) {
     std::printf("perfetto trace written to %s\n", perfetto_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    std::printf("causal trace written to %s (%zu jobs, %zu decisions)\n",
+                trace_out.c_str(), result.job_traces.size(),
+                result.decisions.size());
   }
   return result.completed ? 0 : 1;
 }
