@@ -307,6 +307,47 @@ void BM_FlowRecompute(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowRecompute)->Arg(32)->Arg(128)->Arg(512);
 
+// Flow-model event throughput at datacenter scale: a k=16 fat-tree
+// (1024 hosts, 6144 directed links) holding ~384 concurrent random flows
+// at steady state. Each event is the simulator's hot sequence — advance to
+// the next completion, collect it, start a replacement — so every
+// iteration pays two rate solves. Arg(0) runs the retained naive
+// whole-network progressive filling (every event rescans all directed
+// links per freeze round); Arg(1) runs the incremental component-local
+// solver. items_per_second == flow events/sec; tools/check_perf.py gates
+// the pair at >= 10x and the incremental floor against the baseline.
+const net::Topology& fat_tree_1k() {
+  static const net::Topology topo = net::make_fat_tree({16, units::Gbps(1)});
+  return topo;
+}
+
+void BM_FlowEventsFatTree1k(benchmark::State& state) {
+  const net::Topology& topo = fat_tree_1k();
+  net::FlowModel fm(&topo);
+  Rng rng(9);
+  Seconds now = 0.0;
+  auto start_one = [&] {
+    const NodeId a(rng.index(topo.host_count()));
+    NodeId b(rng.index(topo.host_count()));
+    if (b == a) b = NodeId((a.value() + 1) % topo.host_count());
+    fm.start(a, b, rng.uniform(0.05, 0.5) * kGb, now);
+  };
+  // Build the steady-state population with the incremental solver (naive
+  // setup would be O(flows^2 * links)), then flip the mode under test.
+  for (std::size_t i = 0; i < 384; ++i) start_one();
+  fm.set_naive_flow_solver(state.range(0) == 0);
+  for (auto _ : state) {
+    const auto next = fm.next_completion();
+    now = next->first + 1e-9;
+    fm.advance_to(now);
+    benchmark::DoNotOptimize(fm.collect_completed().size());
+    start_one();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(state.range(0) == 1 ? "incremental" : "naive");
+}
+BENCHMARK(BM_FlowEventsFatTree1k)->Arg(0)->Arg(1);
+
 void BM_TopologyRouting(benchmark::State& state) {
   net::TreeTopologyConfig cfg;
   cfg.racks = 4;

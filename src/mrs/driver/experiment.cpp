@@ -20,6 +20,12 @@ namespace {
 
 net::Topology make_topology(const ExperimentConfig& cfg) {
   MRS_REQUIRE(cfg.nodes >= 1 && cfg.racks >= 1);
+  if (cfg.fat_tree_k != 0) {
+    const std::size_t k = cfg.fat_tree_k;
+    MRS_REQUIRE(k >= 2 && k % 2 == 0);
+    MRS_REQUIRE(cfg.nodes == k * k * k / 4);  // keep slot accounting honest
+    return net::make_fat_tree({k, cfg.host_link});
+  }
   if (cfg.racks == 1) {
     return net::make_single_rack(cfg.nodes, cfg.host_link);
   }
@@ -111,6 +117,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
           : cluster::Cluster(&topo, cfg.node, root.split("cluster"));
   if (cfg.naive_scheduler_path) cluster.set_naive_free_scan(true);
   sim::NetworkService network(&simulation, &topo, cond.get());
+  if (cfg.naive_scheduler_path || cfg.naive_flow_solver) {
+    network.set_naive_flow_solver(true);
+  }
+  network.set_flow_solver_threads(cfg.flow_solver_threads);
 
   std::unique_ptr<net::DistanceProvider> distance;
   switch (cfg.distance_mode) {

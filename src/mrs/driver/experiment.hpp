@@ -71,6 +71,11 @@ struct ExperimentConfig {
   // --- cluster & network (paper: 60 nodes, 4 map + 2 reduce slots) ---
   std::size_t nodes = 60;
   std::size_t racks = 1;  ///< 1 = the paper's single-rack allocation
+  /// When non-zero, build a k-ary fat-tree instead of the rack tree (k even,
+  /// k^3/4 hosts — k=16 is the 1k-host datacenter case). `nodes` must equal
+  /// k^3/4 so slot accounting (stream experiments, benches) stays
+  /// consistent; `racks` is ignored.
+  std::size_t fat_tree_k = 0;
   BytesPerSec host_link = units::Gbps(1);
   BytesPerSec rack_uplink = units::Gbps(10);
   cluster::NodeConfig node;
@@ -123,7 +128,15 @@ struct ExperimentConfig {
   /// index falls back to a full node scan per query and the PNA scheduler
   /// recomputes C_ave naively. Placements must be byte-identical either
   /// way — the equivalence tests run each config both ways and compare.
+  /// Also selects the reference full-scan flow solver, so the flow-model
+  /// fast path is covered by the same end-to-end identity contract.
   bool naive_scheduler_path = false;
+  /// Reference full-scan flow solver only (the flow-model half of
+  /// `naive_scheduler_path`), for isolating flow-solver divergence.
+  bool naive_flow_solver = false;
+  /// Worker threads for full flow-rate recomputations (deterministic
+  /// component-parallel sweep; <= 1 = serial).
+  std::size_t flow_solver_threads = 1;
 
   std::uint64_t seed = 42;
   /// Safety stop: abort (and fail) if the simulation exceeds this.

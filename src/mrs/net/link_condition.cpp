@@ -7,6 +7,10 @@ namespace mrs::net {
 
 namespace {
 constexpr double kMaxUtilization = 0.95;
+// Distance assigned to a path crossing a cut (zero-capacity) link: a large
+// finite penalty rather than +inf so averaged cost matrices stay finite and
+// such paths simply rank last.
+constexpr double kCutPathDistance = 1e12;
 }  // namespace
 
 LinkConditionModel::LinkConditionModel(const Topology* topo,
@@ -14,7 +18,8 @@ LinkConditionModel::LinkConditionModel(const Topology* topo,
     : topo_(topo),
       cfg_(cfg),
       rng_(std::move(rng)),
-      utilization_(topo->link_count() * 2, 0.0) {
+      utilization_(topo->link_count() * 2, 0.0),
+      faulted_(topo->link_count(), 0) {
   MRS_REQUIRE(topo_ != nullptr);
   MRS_REQUIRE(cfg_.mean_utilization >= 0.0 && cfg_.mean_utilization < 1.0);
   MRS_REQUIRE(cfg_.resample_interval > 0.0);
@@ -66,7 +71,21 @@ void LinkConditionModel::resample() {
   }
 }
 
+void LinkConditionModel::set_link_fault(LinkId link, bool faulted) {
+  char& state = faulted_.at(link.value());
+  if ((state != 0) == faulted) return;
+  state = faulted ? 1 : 0;
+  if (faulted) {
+    ++faulted_count_;
+  } else {
+    MRS_ASSERT(faulted_count_ > 0);
+    --faulted_count_;
+  }
+  ++epoch_;  // derived capacities changed out-of-band of the resample grid
+}
+
 BytesPerSec LinkConditionModel::effective_capacity(DirectedLink dl) const {
+  if (faulted_[dl.link.value()] != 0) return 0.0;
   const Link& link = topo_->link(dl.link);
   const double u = utilization_[dl.directed_index()];
   return link.capacity * (1.0 - u);
@@ -84,7 +103,7 @@ BytesPerSec LinkConditionModel::path_rate(NodeId src, NodeId dst) const {
 double LinkConditionModel::inverse_rate_distance(NodeId src, NodeId dst) const {
   if (src == dst) return 0.0;
   const BytesPerSec rate = path_rate(src, dst);
-  MRS_ASSERT(rate > 0.0);
+  if (rate <= 0.0) return kCutPathDistance;  // path crosses a faulted link
   // Normalize: an uncongested two-hop rack-local path (bottleneck =
   // reference host link) costs 2.0, matching the hop count it replaces.
   return 2.0 * reference_rate_ / rate;
@@ -96,7 +115,7 @@ double LinkConditionModel::weighted_path_distance(NodeId src,
   double cost = 0.0;
   for (const DirectedLink& dl : topo_->path(src, dst)) {
     const BytesPerSec cap = effective_capacity(dl);
-    MRS_ASSERT(cap > 0.0);
+    if (cap <= 0.0) return kCutPathDistance;  // faulted hop: rank last
     cost += reference_rate_ / cap;
   }
   return cost;

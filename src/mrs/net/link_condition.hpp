@@ -44,8 +44,22 @@ class LinkConditionModel {
   void advance_to(Seconds t);
 
   /// Capacity left for foreground traffic on a directed link at the current
-  /// time. Never below 5% of nominal (links don't fully starve).
+  /// time. Never below 5% of nominal (links don't fully starve) — unless the
+  /// link is faulted, in which case it is exactly 0 in both directions.
   [[nodiscard]] BytesPerSec effective_capacity(DirectedLink dl) const;
+
+  /// Cut (or repair) a link: a faulted link has zero effective capacity in
+  /// both directions until repaired. Bumps the resample epoch on every state
+  /// change so consumers (FlowModel, cached distance matrices) know their
+  /// derived state is stale; call FlowModel::recompute_rates() afterwards to
+  /// park/resume flows immediately rather than at the next flow event.
+  void set_link_fault(LinkId link, bool faulted);
+  [[nodiscard]] bool link_faulted(LinkId link) const {
+    return faulted_.at(link.value()) != 0;
+  }
+  [[nodiscard]] std::size_t faulted_link_count() const {
+    return faulted_count_;
+  }
 
   /// Uncongested-equivalent transmission rate of the src->dst path: the
   /// minimum effective capacity along the route. Returns +inf for src==dst.
@@ -80,6 +94,8 @@ class LinkConditionModel {
   Seconds now_ = 0.0;
   Seconds next_resample_ = 0.0;
   std::vector<double> utilization_;  ///< per directed link, in [0, 0.95]
+  std::vector<char> faulted_;        ///< per (undirected) link
+  std::size_t faulted_count_ = 0;
   std::uint64_t epoch_ = 0;
   double reference_rate_;            ///< min host-link capacity (for scaling)
 };

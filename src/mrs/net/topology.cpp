@@ -9,16 +9,19 @@
 
 namespace mrs::net {
 
-const std::vector<DirectedLink>& Topology::path(NodeId src, NodeId dst) const {
+std::span<const DirectedLink> Topology::path(NodeId src, NodeId dst) const {
   MRS_REQUIRE(src.value() < hosts_.size());
   MRS_REQUIRE(dst.value() < hosts_.size());
-  return routes_[src.value() * host_count() + dst.value()];
+  const std::size_t slot = src.value() * host_count() + dst.value();
+  return {route_pool_.data() + route_offsets_[slot],
+          route_offsets_[slot + 1] - route_offsets_[slot]};
 }
 
 void Topology::build_routes() {
   const std::size_t h = host_count();
   const std::size_t v = vertex_count();
-  routes_.assign(h * h, {});
+  route_offsets_.assign(h * h + 1, 0);
+  route_pool_.clear();
 
   // BFS from every host over the vertex graph. All equal-cost parents are
   // kept; path reconstruction picks one per (src, dst) pair with a
@@ -51,31 +54,36 @@ void Topology::build_routes() {
         }
       }
     }
+    std::vector<DirectedLink> reversed;
     for (std::size_t t = 0; t < h; ++t) {
-      if (t == s) continue;
-      const std::size_t target = hosts_[t];
-      MRS_REQUIRE(dist[target] != kInf);  // topology must be connected
-      // Walk back target -> start, hashing the ECMP choice per hop so the
-      // (s, t) pair's path is stable but different pairs spread.
-      const std::uint64_t pair_hash =
-          splitmix64((std::uint64_t(s) << 32) ^ std::uint64_t(t));
-      std::vector<DirectedLink> reversed;
-      std::size_t cur = target;
-      std::size_t hop = 0;
-      while (cur != start) {
-        const auto& options = parents[cur];
-        MRS_ASSERT(!options.empty());
-        const Parent& p =
-            options[splitmix64(pair_hash + hop++) % options.size()];
-        const Link& l = links_[p.link.value()];
-        // Forward direction of travel is parent -> cur.
-        const bool rev = (l.b == p.vertex && l.a == cur);
-        MRS_ASSERT(rev || (l.a == p.vertex && l.b == cur));
-        reversed.push_back(DirectedLink{p.link, rev});
-        cur = p.vertex;
+      if (t != s) {
+        const std::size_t target = hosts_[t];
+        MRS_REQUIRE(dist[target] != kInf);  // topology must be connected
+        // Walk back target -> start, hashing the ECMP choice per hop so the
+        // (s, t) pair's path is stable but different pairs spread.
+        const std::uint64_t pair_hash =
+            splitmix64((std::uint64_t(s) << 32) ^ std::uint64_t(t));
+        reversed.clear();
+        std::size_t cur = target;
+        std::size_t hop = 0;
+        while (cur != start) {
+          const auto& options = parents[cur];
+          MRS_ASSERT(!options.empty());
+          const Parent& p =
+              options[splitmix64(pair_hash + hop++) % options.size()];
+          const Link& l = links_[p.link.value()];
+          // Forward direction of travel is parent -> cur.
+          const bool rev = (l.b == p.vertex && l.a == cur);
+          MRS_ASSERT(rev || (l.a == p.vertex && l.b == cur));
+          reversed.push_back(DirectedLink{p.link, rev});
+          cur = p.vertex;
+        }
+        route_pool_.insert(route_pool_.end(), reversed.rbegin(),
+                           reversed.rend());
       }
-      auto& route = routes_[s * h + t];
-      route.assign(reversed.rbegin(), reversed.rend());
+      // Slots are visited in ascending (s, t) order, so recording the pool
+      // size after each one yields the CSR offsets (t == s stays empty).
+      route_offsets_[s * h + t + 1] = route_pool_.size();
     }
   }
 }

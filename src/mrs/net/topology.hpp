@@ -88,11 +88,14 @@ class Topology {
     return adjacency_[v];
   }
 
-  /// Unique shortest path between two hosts as directed links (empty when
-  /// src == dst). Ties are broken deterministically by vertex index, so
-  /// routing is stable across runs (ECMP-hash equivalent).
-  [[nodiscard]] const std::vector<DirectedLink>& path(NodeId src,
-                                                      NodeId dst) const;
+  /// Shortest routing path between two hosts as directed links (empty when
+  /// src == dst). Ties are broken deterministically by an ECMP hash, so
+  /// routing is stable across runs. The returned span views the topology's
+  /// route pool and stays valid for the topology's lifetime (routes are
+  /// stored CSR-style — one flat pool plus offsets — so a 1k-host fat-tree's
+  /// ~1M routes don't pay a million small allocations).
+  [[nodiscard]] std::span<const DirectedLink> path(NodeId src,
+                                                   NodeId dst) const;
 
   /// Hop count (number of links) on the routing path between two hosts.
   [[nodiscard]] std::size_t hops(NodeId src, NodeId dst) const {
@@ -118,8 +121,11 @@ class Topology {
   std::vector<std::size_t> hosts_;     ///< host index -> vertex index
   std::vector<std::size_t> switches_;  ///< switch index -> vertex index
   std::size_t rack_count_ = 0;
-  // Precomputed host-to-host routes, indexed [src * H + dst].
-  std::vector<std::vector<DirectedLink>> routes_;
+  // Precomputed host-to-host routes in CSR layout: route (src, dst) is
+  // route_pool_[route_offsets_[src * H + dst] .. route_offsets_[src * H +
+  // dst + 1]).
+  std::vector<std::size_t> route_offsets_;
+  std::vector<DirectedLink> route_pool_;
 };
 
 /// Incremental topology construction.

@@ -43,6 +43,17 @@ class NetworkService {
     return flows_.active_count();
   }
 
+  /// Select the reference full-scan flow solver (see
+  /// FlowModel::set_naive_flow_solver). Set before the first transfer.
+  void set_naive_flow_solver(bool naive) {
+    flows_.set_naive_flow_solver(naive);
+  }
+  /// Worker threads for full flow recomputations (deterministic; see
+  /// FlowModel::set_flow_solver_threads).
+  void set_flow_solver_threads(std::size_t n) {
+    flows_.set_flow_solver_threads(n);
+  }
+
  private:
   /// Advance the model to sim-now, dispatch completions, re-arm the timer.
   void sync();

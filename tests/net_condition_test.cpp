@@ -1,6 +1,9 @@
 // Tests for the link-condition model and the distance providers built on it.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "mrs/common/rng.hpp"
 #include "mrs/net/distance.hpp"
 #include "mrs/net/flow.hpp"
@@ -177,6 +180,92 @@ TEST(LoadAwareProvider, DistanceScalesWithFlowCount) {
   fm.start(NodeId(3), NodeId(0), 100.0 * kGb, 0.0);
   const double two = p.distance(NodeId(2), NodeId(0), 0.0);
   EXPECT_GT(two, one);  // busier downlink into node 0 looks farther
+}
+
+TEST(LinkFault, CutsAndRepairsCapacityAndBumpsEpoch) {
+  const Topology t = make_single_rack(3);
+  BackgroundTrafficConfig cfg;  // clean
+  LinkConditionModel m(&t, cfg, Rng(1));
+  const LinkId link = t.path(NodeId(0), NodeId(1)).front().link;
+  const auto epoch0 = m.resample_epoch();
+  EXPECT_FALSE(m.link_faulted(link));
+  m.set_link_fault(link, true);
+  EXPECT_TRUE(m.link_faulted(link));
+  EXPECT_EQ(m.faulted_link_count(), 1u);
+  EXPECT_EQ(m.resample_epoch(), epoch0 + 1);
+  for (bool rev : {false, true}) {
+    EXPECT_EQ(m.effective_capacity(DirectedLink{link, rev}), 0.0);
+  }
+  m.set_link_fault(link, true);  // idempotent: no extra epoch
+  EXPECT_EQ(m.resample_epoch(), epoch0 + 1);
+  m.set_link_fault(link, false);
+  EXPECT_EQ(m.faulted_link_count(), 0u);
+  EXPECT_EQ(m.resample_epoch(), epoch0 + 2);
+  EXPECT_GT(m.effective_capacity(DirectedLink{link, false}), 0.0);
+}
+
+TEST(LinkFault, DistancesStayFiniteAcrossCutLinks) {
+  const Topology t = make_single_rack(3);
+  BackgroundTrafficConfig cfg;
+  LinkConditionModel m(&t, cfg, Rng(1));
+  m.set_link_fault(t.path(NodeId(0), NodeId(1)).front().link, true);
+  EXPECT_EQ(m.path_rate(NodeId(0), NodeId(1)), 0.0);
+  const double cut_inverse = m.inverse_rate_distance(NodeId(0), NodeId(1));
+  const double cut_weighted = m.weighted_path_distance(NodeId(0), NodeId(1));
+  EXPECT_TRUE(std::isfinite(cut_inverse));
+  EXPECT_TRUE(std::isfinite(cut_weighted));
+  // Cut paths rank (far) behind any healthy path.
+  EXPECT_GT(cut_inverse, m.inverse_rate_distance(NodeId(1), NodeId(2)) * 1e6);
+  EXPECT_GT(cut_weighted,
+            m.weighted_path_distance(NodeId(1), NodeId(2)) * 1e6);
+}
+
+// Regression: a flow over a cut link must not make progress (the old solver
+// floored every rate at 1 B/s, so a "cut" flow silently completed); it parks
+// at rate 0, disappears from next_completion, and resumes on repair.
+TEST(LinkFault, FlowOverCutLinkStallsUntilRepair) {
+  const Topology t = make_single_rack(3);
+  BackgroundTrafficConfig cfg;  // clean: the only capacity loss is the fault
+  LinkConditionModel m(&t, cfg, Rng(1));
+  FlowModel fm(&t, &m);
+  const LinkId link = t.path(NodeId(0), NodeId(1)).front().link;
+  m.set_link_fault(link, true);
+
+  const FlowId cut = fm.start(NodeId(0), NodeId(1), 1.0 * kGb, 0.0);
+  EXPECT_TRUE(fm.info(cut).stalled);
+  EXPECT_EQ(fm.info(cut).rate, 0.0);
+  EXPECT_EQ(fm.stalled_count(), 1u);
+  EXPECT_FALSE(fm.next_completion().has_value());
+
+  // A flow avoiding the cut link is unaffected and completes normally.
+  const FlowId healthy = fm.start(NodeId(2), NodeId(1), 1.0 * kGb, 0.0);
+  EXPECT_FALSE(fm.info(healthy).stalled);
+  EXPECT_NEAR(fm.info(healthy).rate, kGb, 1.0);
+  auto next = fm.next_completion();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->second, healthy);
+
+  // Long after the healthy flow drains, the cut flow has made zero
+  // progress and is still active.
+  fm.advance_to(1000.0);
+  fm.collect_completed();
+  EXPECT_TRUE(fm.info(cut).active);
+  EXPECT_EQ(fm.info(cut).remaining, 1.0 * kGb);
+  EXPECT_FALSE(fm.next_completion().has_value());
+
+  // Repair: the next flow event (here an unrelated start elsewhere) picks
+  // up the condition-model epoch change and resumes the parked flow.
+  m.set_link_fault(link, false);
+  fm.start(NodeId(1), NodeId(2), 0.1 * kGb, 1000.0);
+  EXPECT_FALSE(fm.info(cut).stalled);
+  EXPECT_EQ(fm.stalled_count(), 0u);
+  EXPECT_NEAR(fm.info(cut).rate, kGb, 1.0);
+  next = fm.next_completion();
+  ASSERT_TRUE(next.has_value());
+  fm.advance_to(1020.0);
+  const auto done = fm.collect_completed();
+  EXPECT_TRUE(std::find(done.begin(), done.end(), cut) != done.end());
+  EXPECT_FALSE(fm.info(cut).active);
 }
 
 }  // namespace

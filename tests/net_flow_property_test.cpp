@@ -2,6 +2,8 @@
 // bytes, never oversubscribe a link, and always drain.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "mrs/common/rng.hpp"
 #include "mrs/net/flow.hpp"
 #include "mrs/net/topology.hpp"
@@ -79,6 +81,97 @@ TEST_P(RandomTrafficProperty, RateNeverExceedsCap) {
   }
   for (const auto& [id, cap] : caps) {
     EXPECT_LE(fm.info(id).rate, cap * 1.0001);
+  }
+}
+
+// The progressive-filling invariants, checked at every arrival of a random
+// stream: (a) per-link frozen-rate sums never exceed capacity beyond 1e-9
+// relative error (the exact-residual last freeze removes the old
+// subtraction-drift leak); (b) the maintained O(1) aggregates equal a
+// from-scratch audit bitwise; (c) max-min optimality — every flow is either
+// at its application cap or bottlenecked on some saturated link where it
+// gets a maximal share.
+TEST_P(RandomTrafficProperty, FrozenSumsAndMaxMinOptimality) {
+  Rng rng(GetParam() + 2000);
+  TreeTopologyConfig cfg;
+  cfg.racks = 3;
+  cfg.hosts_per_rack = 4;
+  cfg.host_link = units::Gbps(1);
+  cfg.uplink = units::Gbps(4);
+  const Topology topo = make_multi_rack_tree(cfg);
+  FlowModel fm(&topo);
+  const std::size_t directed = topo.link_count() * 2;
+
+  std::vector<FlowId> live;
+  Seconds now = 0.0;
+  for (std::size_t event = 0; event < 120; ++event) {
+    if (live.size() > 40 || (!live.empty() && rng.bernoulli(0.3))) {
+      const auto next = fm.next_completion();
+      ASSERT_TRUE(next.has_value());
+      now = next->first + 1e-9;
+      fm.advance_to(now);
+      for (const FlowId id : fm.collect_completed()) {
+        live.erase(std::find(live.begin(), live.end(), id));
+      }
+    } else {
+      now += rng.uniform(0.0, 0.2);
+      const NodeId src(rng.index(topo.host_count()));
+      NodeId dst(rng.index(topo.host_count()));
+      if (dst == src) dst = NodeId((src.value() + 1) % topo.host_count());
+      const BytesPerSec cap =
+          rng.bernoulli(0.4) ? rng.uniform(0.02, 0.5) * kGb : 1e18;
+      live.push_back(
+          fm.start(src, dst, rng.uniform(0.05, 2.0) * kGb, now, cap));
+    }
+
+    // (a) + (b): frozen-rate sums vs capacity, maintained vs audited.
+    std::vector<double> audit(directed, 0.0);
+    for (const FlowId id : live) {
+      const FlowInfo& f = fm.info(id);
+      if (!f.active) continue;
+      for (const DirectedLink& dl : topo.path(f.src, f.dst)) {
+        audit[dl.directed_index()] += f.rate;
+      }
+    }
+    for (std::size_t d = 0; d < directed; ++d) {
+      const double capacity = topo.link(LinkId(d / 2)).capacity;
+      EXPECT_LE(audit[d], capacity * (1.0 + 1e-9)) << "link " << d;
+      // `live` ascends by flow id, so the audit accumulates in the solver's
+      // canonical member order: the sums must match bit-for-bit.
+      EXPECT_EQ(fm.directed_link_load(d), audit[d]) << "link " << d;
+    }
+
+    // (c) max-min optimality: each flow is capped, or crosses a saturated
+    // link on which no other flow holds a strictly larger share.
+    for (const FlowId id : live) {
+      const FlowInfo& f = fm.info(id);
+      if (!f.active) continue;
+      if (f.rate >= f.rate_cap * (1.0 - 1e-9)) continue;  // at its cap
+      bool bottlenecked = false;
+      for (const DirectedLink& dl : topo.path(f.src, f.dst)) {
+        const std::size_t d = dl.directed_index();
+        const double capacity = topo.link(LinkId(d / 2)).capacity;
+        if (audit[d] < capacity * (1.0 - 1e-9)) continue;  // not saturated
+        double max_rate = 0.0;
+        for (const FlowId other : live) {
+          const FlowInfo& g = fm.info(other);
+          if (!g.active) continue;
+          for (const DirectedLink& odl : topo.path(g.src, g.dst)) {
+            if (odl.directed_index() == d) {
+              max_rate = std::max(max_rate, g.rate);
+              break;
+            }
+          }
+        }
+        if (f.rate >= max_rate * (1.0 - 1e-9)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(bottlenecked)
+          << "flow " << id.value() << " rate " << f.rate
+          << " is neither capped nor bottlenecked (not max-min optimal)";
+    }
   }
 }
 

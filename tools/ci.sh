@@ -6,16 +6,20 @@
 #   3. trace smoke: a --trace-out run must produce a causal trace that
 #      trace_analyze accepts (per-job blame buckets summing to the
 #      measured response time, shares summing to ~100%)
-#   4. perf smoke: bench_micro_scheduler's saturated-heartbeat case must
-#      keep incremental scoring >= 2x the naive path and within 20% of
-#      tools/perf_baseline.json (PNATS_PERF_REGEN=1 refreshes it); the
-#      tracing-disabled heartbeat (BM_PnaHeartbeatTraced/0) is gated
+#   4. perf smoke: bench_micro_scheduler's gated families must keep the
+#      optimized path ahead of the naive path (2x for the saturated
+#      heartbeat scans, 10x for the 1k-host fat-tree flow solver) and
+#      within 20% of tools/perf_baseline.json (PNATS_PERF_REGEN=1
+#      refreshes it); each family runs 3 repetitions and the gate
+#      compares medians, so one descheduled run cannot flake the gate;
+#      the tracing-disabled heartbeat (BM_PnaHeartbeatTraced/0) is gated
 #      against the same baseline
 #   4. ASan/UBSan build of the test suite (PNATS_SANITIZE=asan), catching
 #      memory and UB bugs the plain build cannot
 #   5. TSan build running the fast-vs-naive equivalence suite (the
-#      incremental index under the threaded drivers); TSAN=1 widens this
-#      to the full test suite
+#      incremental index under the threaded drivers) plus the flow-solver
+#      differential suite (its parallel model exercises the threaded
+#      component sweep); TSAN=1 widens this to the full test suite
 #
 # Run from the repository root: ./tools/ci.sh
 # Build trees: build/ (tier-1), build-asan/, build-tsan/.
@@ -163,9 +167,10 @@ PNATS_QUICK=1 ./build/bench/bench_hetero_sweep >/dev/null
 test -s bench_out/hetero_sweep_quick.csv
 echo "hetero smoke: bench_out/hetero_sweep_quick.csv written"
 
-echo "==> perf smoke: incremental scoring vs naive heartbeat path"
+echo "==> perf smoke: optimized vs naive gated benchmark families"
 ./build/bench/bench_micro_scheduler \
-  --benchmark_filter='BM_PnaHeartbeat(Saturated|Hetero|Traced)' \
+  --benchmark_filter='BM_PnaHeartbeat(Saturated|Hetero|Traced)|BM_FlowEventsFatTree1k' \
+  --benchmark_repetitions=3 \
   --benchmark_format=json >"$SMOKE_DIR/perf.json"
 if command -v python3 >/dev/null 2>&1; then
   python3 tools/check_perf.py "$SMOKE_DIR/perf.json" tools/perf_baseline.json
@@ -180,7 +185,7 @@ cmake -B build-asan -S . "${GENERATOR[@]}" \
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "==> sanitizer pass: TSan fast-vs-naive equivalence suite"
+echo "==> sanitizer pass: TSan equivalence + flow-differential suites"
 cmake -B build-tsan -S . "${GENERATOR[@]}" \
   -DPNATS_SANITIZE=tsan \
   -DPNATS_BUILD_BENCH=OFF -DPNATS_BUILD_EXAMPLES=OFF
@@ -188,7 +193,8 @@ cmake --build build-tsan -j "$JOBS"
 if [[ "${TSAN:-0}" != "0" ]]; then
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
 else
-  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R Equivalence
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'Equivalence|FlowDifferential'
 fi
 
 echo "==> ci: all passes green"

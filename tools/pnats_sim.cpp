@@ -12,6 +12,10 @@
 //                         --batch
 //     --nodes N           cluster size (default 60)
 //     --racks N           topology racks (default 1)
+//     --fat-tree K        k-ary fat-tree topology (k even; k^3/4 hosts,
+//                         overrides --nodes/--racks)
+//     --naive-flow-solver reference full-scan max-min flow solver
+//     --flow-threads N    worker threads for full flow recomputes
 //     --seed N            root RNG seed (default 42)
 //     --pmin X            P_min threshold (default 0.4)
 //     --replication N     DFS replication factor (default 2)
@@ -116,7 +120,9 @@ using namespace mrs;
   std::fputs(
       "usage: pnats_sim [--scheduler NAME] [--batch NAME|--jobs-file CSV]\n"
       "                 [--nodes N]\n"
-      "                 [--racks N] [--seed N] [--pmin X] [--replication N]\n"
+      "                 [--racks N] [--fat-tree K] [--naive-flow-solver]\n"
+      "                 [--flow-threads N]\n"
+      "                 [--seed N] [--pmin X] [--replication N]\n"
       "                 [--placement hdfs|random|skewed]\n"
       "                 [--distance hops|inverse-rate|weighted|load-aware]\n"
       "                 [--straggler-p X] [--speculation] [--mtbf SECONDS]\n"
@@ -382,6 +388,8 @@ int main(int argc, char** argv) {
   std::string class_disks, class_assign = "weighted";
   std::size_t tenants_n = 0;
   std::size_t nodes = 60, racks = 1, replication = 2;
+  std::size_t fat_tree_k = 0, flow_threads = 1;
+  bool naive_flow_solver = false;
   std::size_t max_deferrals = 4, max_attempts = 0, blacklist_failures = 2;
   std::uint64_t seed = 42;
   double pmin = 0.4, straggler_p = 0.0, mtbf = 0.0, repair_jitter = 0.0;
@@ -405,6 +413,9 @@ int main(int argc, char** argv) {
     else if (arg == "--jobs-file") jobs_file = next();
     else if (arg == "--nodes") nodes = std::stoul(next());
     else if (arg == "--racks") racks = std::stoul(next());
+    else if (arg == "--fat-tree") fat_tree_k = std::stoul(next());
+    else if (arg == "--naive-flow-solver") naive_flow_solver = true;
+    else if (arg == "--flow-threads") flow_threads = std::stoul(next());
     else if (arg == "--seed") seed = std::stoull(next());
     else if (arg == "--pmin") pmin = std::stod(next());
     else if (arg == "--replication") replication = std::stoul(next());
@@ -468,6 +479,18 @@ int main(int argc, char** argv) {
       parse_scheduler(scheduler), seed);
   cfg.nodes = nodes;
   cfg.racks = racks;
+  if (fat_tree_k != 0) {
+    if (fat_tree_k < 2 || fat_tree_k % 2 != 0) {
+      std::fputs("--fat-tree K must be even and >= 2\n", stderr);
+      usage(2);
+    }
+    // A k-ary fat-tree has exactly k^3/4 hosts; derive the node count so
+    // slot accounting matches the topology.
+    cfg.fat_tree_k = fat_tree_k;
+    cfg.nodes = fat_tree_k * fat_tree_k * fat_tree_k / 4;
+  }
+  cfg.naive_flow_solver = naive_flow_solver;
+  cfg.flow_solver_threads = flow_threads;
   cfg.pna.p_min = pmin;
   if (cost_mix < 0.0 || cost_mix > 1.0) {
     std::fputs("--cost-mix must be in [0, 1]\n", stderr);
