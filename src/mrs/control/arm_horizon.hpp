@@ -1,0 +1,37 @@
+// Shared disarm rule for the chaos injectors (node failures, network
+// faults). An injector keeps arming while the workload is live OR the
+// arrival horizon is still open: with an open-loop stream, "everything
+// currently in the system has resolved" is often just a quiet gap between
+// arrivals, and disarming there would permanently end injection mid-stream
+// (the PR-4 arm_horizon regression). Only past the horizon does a quiet
+// system mean the run is draining and events must stop so the queue empties.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "mrs/common/units.hpp"
+
+namespace mrs::control {
+
+class ArmHorizonGate {
+ public:
+  /// `quiesced` reports whether the driving workload has fully resolved
+  /// (e.g. Engine::all_jobs_complete). A null predicate counts as
+  /// always-quiesced, so a gate without a workload hook still lets the
+  /// event queue drain once the horizon passes.
+  ArmHorizonGate(Seconds arm_horizon, std::function<bool()> quiesced)
+      : arm_horizon_(arm_horizon), quiesced_(std::move(quiesced)) {}
+
+  /// True when the injector must stop re-arming.
+  [[nodiscard]] bool disarmed(Seconds now) const {
+    if (now < arm_horizon_) return false;
+    return quiesced_ == nullptr || quiesced_();
+  }
+
+ private:
+  Seconds arm_horizon_ = 0.0;
+  std::function<bool()> quiesced_;
+};
+
+}  // namespace mrs::control

@@ -1,0 +1,172 @@
+#include "mrs/control/fault_injector.hpp"
+
+#include <utility>
+
+namespace mrs::control {
+
+NetworkFaultInjector::NetworkFaultInjector(
+    sim::Simulation* simulation, sim::NetworkService* service,
+    net::LinkConditionModel* cond, const net::Topology* topo,
+    NetworkFaultInjectorConfig config, Rng rng,
+    std::function<bool()> quiesced)
+    : simulation_(simulation),
+      service_(service),
+      cond_(cond),
+      topo_(topo),
+      config_(config),
+      gate_(config.arm_horizon, std::move(quiesced)),
+      link_rng_(rng.split("links")),
+      switch_rng_(rng.split("switches")),
+      surge_rng_(rng.split("surges")) {
+  MRS_REQUIRE(simulation_ != nullptr && topo_ != nullptr);
+  if (!config_.enabled()) return;
+  MRS_REQUIRE(service_ != nullptr && cond_ != nullptr);
+  MRS_REQUIRE(config_.link_mtbf <= 0.0 || config_.link_repair_time > 0.0);
+  MRS_REQUIRE(config_.switch_mtbf <= 0.0 || config_.switch_repair_time > 0.0);
+  MRS_REQUIRE(config_.repair_jitter >= 0.0 && config_.repair_jitter < 1.0);
+  MRS_REQUIRE(config_.surge_mtbf <= 0.0 ||
+              (config_.surge_duration > 0.0 &&
+               config_.surge_utilization > 0.0));
+
+  cut_refs_.assign(topo_->link_count(), 0);
+  rack_uplinks_.assign(topo_->rack_count(), {});
+  for (std::size_t v = 0; v < topo_->vertex_count(); ++v) {
+    const net::Vertex& vertex = topo_->vertex(v);
+    if (vertex.kind != net::VertexKind::kSwitch) continue;
+    switch_vertices_.push_back(v);
+    if (!vertex.rack.valid() ||
+        vertex.rack.value() >= rack_uplinks_.size()) {
+      continue;
+    }
+    // The rack's uplinks: ToR-to-switch links. A flat single-switch
+    // topology has no aggregation layer; a surge there degrades the
+    // rack's host links instead so the episode is still observable.
+    std::vector<LinkId> uplinks;
+    std::vector<LinkId> all;
+    for (const net::Topology::Adjacency& adj : topo_->neighbors(v)) {
+      all.push_back(adj.link);
+      if (topo_->vertex(adj.neighbor).kind == net::VertexKind::kSwitch) {
+        uplinks.push_back(adj.link);
+      }
+    }
+    std::vector<LinkId>& target = rack_uplinks_[vertex.rack.value()];
+    const std::vector<LinkId>& add = uplinks.empty() ? all : uplinks;
+    target.insert(target.end(), add.begin(), add.end());
+  }
+}
+
+void NetworkFaultInjector::set_telemetry(telemetry::Registry* registry) {
+  if (registry == nullptr) return;
+  links_cut_counter_ = &registry->counter("net.fault.links_cut");
+  switch_events_counter_ = &registry->counter("net.fault.switch_events");
+  surge_episodes_counter_ = &registry->counter("net.surge.episodes");
+  surge_active_gauge_ = &registry->gauge("net.surge.active");
+}
+
+void NetworkFaultInjector::start() {
+  if (config_.link_mtbf > 0.0) {
+    simulation_->schedule_in(link_rng_.exponential(config_.link_mtbf),
+                             [this] { fire_link_cut(); });
+  }
+  if (config_.switch_mtbf > 0.0) {
+    simulation_->schedule_in(switch_rng_.exponential(config_.switch_mtbf),
+                             [this] { fire_switch_fault(); });
+  }
+  if (config_.surge_mtbf > 0.0) {
+    simulation_->schedule_in(surge_rng_.exponential(config_.surge_mtbf),
+                             [this] { fire_surge(); });
+  }
+}
+
+Seconds NetworkFaultInjector::jittered(Rng& rng, Seconds base) {
+  if (config_.repair_jitter <= 0.0) return base;
+  return base * rng.uniform(1.0 - config_.repair_jitter,
+                            1.0 + config_.repair_jitter);
+}
+
+void NetworkFaultInjector::cut_link(LinkId link) {
+  if (cut_refs_[link.value()]++ == 0) cond_->set_link_fault(link, true);
+}
+
+void NetworkFaultInjector::uncut_link(LinkId link) {
+  MRS_ASSERT(cut_refs_[link.value()] > 0);
+  if (--cut_refs_[link.value()] == 0) cond_->set_link_fault(link, false);
+}
+
+void NetworkFaultInjector::fire_link_cut() {
+  if (gate_.disarmed(simulation_->now())) return;
+  // The victim draw always consumes exactly one stream value; a pick that
+  // is already down (overlapping with a switch fault) is skipped rather
+  // than redrawn, so the family's stream stays aligned regardless of what
+  // the other families did.
+  const LinkId link(link_rng_.index(topo_->link_count()));
+  if (cut_refs_[link.value()] == 0) {
+    cut_link(link);
+    ++links_cut_;
+    telemetry::inc(links_cut_counter_);
+    service_->on_condition_changed();
+    simulation_->schedule_in(jittered(link_rng_, config_.link_repair_time),
+                             [this, link] {
+                               uncut_link(link);
+                               service_->on_condition_changed();
+                             });
+  }
+  simulation_->schedule_in(link_rng_.exponential(config_.link_mtbf),
+                           [this] { fire_link_cut(); });
+}
+
+void NetworkFaultInjector::fire_switch_fault() {
+  if (gate_.disarmed(simulation_->now())) return;
+  if (!switch_vertices_.empty()) {
+    const std::size_t v =
+        switch_vertices_[switch_rng_.index(switch_vertices_.size())];
+    std::vector<LinkId> cut;
+    for (const net::Topology::Adjacency& adj : topo_->neighbors(v)) {
+      cut.push_back(adj.link);
+      cut_link(adj.link);
+    }
+    ++switch_events_;
+    telemetry::inc(switch_events_counter_);
+    service_->on_condition_changed();
+    simulation_->schedule_in(
+        jittered(switch_rng_, config_.switch_repair_time),
+        [this, cut = std::move(cut)] {
+          for (const LinkId link : cut) uncut_link(link);
+          service_->on_condition_changed();
+        });
+  }
+  simulation_->schedule_in(switch_rng_.exponential(config_.switch_mtbf),
+                           [this] { fire_switch_fault(); });
+}
+
+void NetworkFaultInjector::fire_surge() {
+  if (gate_.disarmed(simulation_->now())) return;
+  if (!rack_uplinks_.empty()) {
+    const std::size_t rack = surge_rng_.index(rack_uplinks_.size());
+    if (!rack_uplinks_[rack].empty()) {
+      for (const LinkId link : rack_uplinks_[rack]) {
+        cond_->add_link_surge(link, config_.surge_utilization);
+      }
+      ++surge_episodes_;
+      ++active_surges_;
+      telemetry::inc(surge_episodes_counter_);
+      telemetry::set(surge_active_gauge_,
+                     static_cast<double>(active_surges_));
+      service_->on_condition_changed();
+      simulation_->schedule_in(config_.surge_duration, [this, rack] {
+        for (const LinkId link : rack_uplinks_[rack]) {
+          cond_->add_link_surge(link, -config_.surge_utilization);
+        }
+        MRS_ASSERT(active_surges_ > 0);
+        --active_surges_;
+        telemetry::set(surge_active_gauge_,
+                       static_cast<double>(active_surges_));
+        service_->on_condition_changed();
+      });
+    }
+  }
+  simulation_->schedule_in(surge_rng_.exponential(config_.surge_mtbf),
+                           [this] { fire_surge(); });
+}
+
+}  // namespace mrs::control

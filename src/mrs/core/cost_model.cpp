@@ -17,7 +17,10 @@ IntermediateSnapshot::IntermediateSnapshot(const JobRun& job, Seconds now,
   std::vector<bool> has_data(node_count, false);
   for (std::size_t j = 0; j < job.map_count(); ++j) {
     const auto& m = job.map_state(j);
-    if (m.phase == MapPhase::kUnassigned) continue;  // location unknown
+    if (m.phase == MapPhase::kUnassigned ||
+        m.phase == MapPhase::kBackoff) {
+      continue;  // location unknown (or attempt stall-killed, no output)
+    }
     const std::size_t p = m.node.value();
 
     double scale = 0.0;  // multiplier applied to ground-truth I_jf

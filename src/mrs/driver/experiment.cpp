@@ -86,7 +86,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       cfg.background.mean_utilization > 0.0 ||
       cfg.background.burst_probability > 0.0 ||
       cfg.distance_mode == DistanceMode::kInverseRate ||
-      cfg.distance_mode == DistanceMode::kWeightedPerLink;
+      cfg.distance_mode == DistanceMode::kWeightedPerLink ||
+      cfg.net_faults.enabled();  // faults need a model to land in
   std::unique_ptr<net::LinkConditionModel> cond;
   if (needs_condition) {
     cond = std::make_unique<net::LinkConditionModel>(
@@ -145,6 +146,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
                            root.split("engine"));
   mapreduce::FailureInjector failures(&simulation, &engine, &cluster,
                                       cfg.failures, root.split("failures"));
+  control::NetworkFaultInjector net_faults(
+      &simulation, &network, cond.get(), &topo, cfg.net_faults,
+      root.split("netfaults"), [&engine] {
+        return engine.all_jobs_complete();
+      });
 
   std::size_t job_index = 0;
   for (const auto& spec : specs) {
@@ -183,6 +189,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     engine.set_telemetry(&registry);
     scheduler->set_telemetry(&registry);
     if (admission) admission->set_telemetry(&registry);
+    if (cfg.net_faults.enabled()) net_faults.set_telemetry(&registry);
   }
 
   std::unique_ptr<sim::CsvTraceSink> trace;
@@ -223,6 +230,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
         columns.push_back(strf("node%zu.reduce_slots.free", n));
       }
     }
+    // Only chaos-enabled runs grow this last column, so the non-fault
+    // layout (and every consumer indexing it) is untouched.
+    const net::LinkConditionModel* fault_cond =
+        cfg.net_faults.enabled() ? cond.get() : nullptr;
+    if (fault_cond != nullptr) columns.push_back("faulted_link_count");
     std::vector<telemetry::Gauge*> gauges;
     gauges.reserve(columns.size());
     for (const auto& c : columns) {
@@ -231,8 +243,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     control::AdmissionController* adm = admission.get();
     sampler = std::make_unique<telemetry::Sampler>(
         &simulation, columns, cfg.sample_period,
-        [&engine, &cluster, adm, gauges,
-         node_slots](Seconds, std::vector<double>& row) {
+        [&engine, &cluster, adm, gauges, node_slots,
+         fault_cond](Seconds, std::vector<double>& row) {
           std::size_t maps_queued = 0, reduces_queued = 0;
           for (const mapreduce::JobRun* job : engine.active_jobs()) {
             maps_queued += job->maps_unassigned();
@@ -267,6 +279,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
               row.push_back(static_cast<double>(ns.free_reduce_slots()));
             }
           }
+          if (fault_cond != nullptr) {
+            row.push_back(
+                static_cast<double>(fault_cond->faulted_link_count()));
+          }
           for (std::size_t i = 0; i < row.size(); ++i) {
             gauges[i]->set(row[i]);  // snapshot carries the last sample
           }
@@ -277,6 +293,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   engine.start();
   failures.start();
+  net_faults.start();
   {
     telemetry::ScopedTimer run_timer(&registry.timer("driver.run_wall"));
     simulation.run(cfg.max_sim_time);

@@ -16,6 +16,7 @@
 
 #include "mrs/cluster/cluster.hpp"
 #include "mrs/control/admission.hpp"
+#include "mrs/control/fault_injector.hpp"
 #include "mrs/core/pna_scheduler.hpp"
 #include "mrs/hetero/node_class.hpp"
 #include "mrs/hetero/unrelated.hpp"
@@ -93,6 +94,10 @@ struct ExperimentConfig {
   // --- engine ---
   mapreduce::EngineConfig engine;
   mapreduce::FailureInjectorConfig failures;  ///< disabled by default
+  /// Network chaos (link cuts, switch faults, surge episodes); disabled by
+  /// default. Enabling it forces the link-condition model on (faults need
+  /// somewhere to land) and appends a `faulted_link_count` sampler column.
+  control::NetworkFaultInjectorConfig net_faults;
 
   // --- admission control plane ---
   /// Policy + deferral knobs. The default always-admit policy with

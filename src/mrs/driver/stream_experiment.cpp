@@ -36,6 +36,8 @@ StreamResult run_stream_experiment(const StreamConfig& cfg) {
   // until the last arrival has entered the system.
   run_cfg.failures.arm_horizon =
       std::max(cfg.base.failures.arm_horizon, cfg.arrivals.duration);
+  run_cfg.net_faults.arm_horizon =
+      std::max(cfg.base.net_faults.arm_horizon, cfg.arrivals.duration);
   result.run = run_experiment(run_cfg);
 
   const metrics::Window window{cfg.warmup, cfg.arrivals.duration};

@@ -67,6 +67,9 @@ void Engine::set_telemetry(telemetry::Registry* registry) {
   metrics_.nodes_failed = &r.counter("engine.nodes.failed");
   metrics_.nodes_recovered = &r.counter("engine.nodes.recovered");
   metrics_.jobs_aborted = &r.counter("control.jobs.aborted");
+  metrics_.transfer_stall_timeouts =
+      &r.counter("engine.transfer.stall_timeouts");
+  metrics_.transfer_retries = &r.counter("engine.transfer.retries");
   static constexpr const char* kMapLocality[3] = {
       "engine.maps.locality.node", "engine.maps.locality.rack",
       "engine.maps.locality.remote"};
@@ -421,6 +424,10 @@ void Engine::map_attempt_ready(JobRun& job, std::size_t j, bool backup) {
   NodeId src;
   double best = std::numeric_limits<double>::max();
   for (NodeId replica : blocks_->replicas(spec.block)) {
+    // Fallback to the first replica even when every path is cut (infinite
+    // condition-aware distance): the transfer still starts and simply
+    // stalls at rate 0, which is the stall watchdog's cue to retry later.
+    if (!src.valid()) src = replica;
     const double d = distance(node, replica);
     if (d < best) {
       best = d;
@@ -456,6 +463,7 @@ void Engine::map_attempt_ready(JobRun& job, std::size_t j, bool backup) {
     s.compute_duration = nominal;
     s.straggler = straggler;
     s.fetch_flow = flow;
+    arm_map_stall_watchdog(job, j);
   }
 }
 
@@ -743,13 +751,15 @@ void Engine::start_reduce_shuffle(JobRun& job, std::size_t f) {
       ++r.pending_maps;
     }
   }
+  arm_reduce_stall_watchdog(job, f);
   pump_reduce_fetchers(job, f);
 }
 
-void Engine::kill_reduce_attempt(JobRun& job, std::size_t f) {
+void Engine::kill_reduce_attempt(JobRun& job, std::size_t f, bool requeue) {
   ReduceTaskState& r = job.reduce_state(f);
   MRS_REQUIRE(r.phase != ReducePhase::kUnassigned &&
-              r.phase != ReducePhase::kDone);
+              r.phase != ReducePhase::kDone &&
+              r.phase != ReducePhase::kBackoff);
   touch_utilization();
   simulation_->cancel(r.pending_event);
   for (FlowId flow : r.inflight_flows) network_->cancel(flow);
@@ -764,10 +774,12 @@ void Engine::kill_reduce_attempt(JobRun& job, std::size_t f) {
   r.active_fetchers = 0;
   r.bytes_fetched = 0.0;
   std::fill(r.fetched_map.begin(), r.fetched_map.end(), false);
-  r.phase = ReducePhase::kUnassigned;
+  // A stall kill (requeue=false) parks the task in kBackoff; the caller's
+  // backoff timer moves it back to the unassigned pool.
+  r.phase = requeue ? ReducePhase::kUnassigned : ReducePhase::kBackoff;
   r.postpone_count = 0;
   ++r.epoch;
-  job.note_reduce_attempt_lost();
+  if (requeue) job.note_reduce_attempt_lost();
   telemetry::inc(metrics_.reduces_killed);
   trace(sim::TraceEventKind::kReduceKilled,
         strf("%s/reduce/%zu", job.spec().name.c_str(), f));
@@ -1018,25 +1030,168 @@ void Engine::recover_node(NodeId node) {
   trace(sim::TraceEventKind::kNodeRecovered,
         strf("node/%zu", node.value()));
   touch_utilization();
+  // Withhold slots first, then revive: the node never transits through
+  // the free-slot index while on probation.
+  begin_probation(node);
+  cluster_->set_node_alive(node, true);
+}
+
+void Engine::begin_probation(NodeId node) {
   std::uint64_t probation_epoch = 0;
   const Seconds probation =
       blacklist_.start_probation_on_recovery(node, &probation_epoch);
-  if (probation > 0.0) {
-    // Withhold slots first, then revive: the node never transits through
-    // the free-slot index while on probation.
-    cluster_->set_node_schedulable(node, false);
-    cluster_->set_node_alive(node, true);
-    simulation_->schedule_in(probation, [this, node, probation_epoch] {
-      if (!blacklist_.end_probation(node, probation_epoch)) return;
-      touch_utilization();
-      cluster_->set_node_schedulable(node, true);
-      trace(sim::TraceEventKind::kNodeUnblacklisted,
-            strf("node/%zu", node.value()));
-      log_info("t=%.1f node %zu off blacklist", now(), node.value());
-    });
-  } else {
-    cluster_->set_node_alive(node, true);
+  if (probation <= 0.0) return;
+  cluster_->set_node_schedulable(node, false);
+  simulation_->schedule_in(probation, [this, node, probation_epoch] {
+    if (!blacklist_.end_probation(node, probation_epoch)) return;
+    touch_utilization();
+    cluster_->set_node_schedulable(node, true);
+    trace(sim::TraceEventKind::kNodeUnblacklisted,
+          strf("node/%zu", node.value()));
+    log_info("t=%.1f node %zu off blacklist", now(), node.value());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Transfer stall watchdog (graceful degradation under network faults)
+// ---------------------------------------------------------------------------
+//
+// With stall_timeout > 0 every remote map fetch and reduce shuffle is
+// watched: when its flows sit at rate 0 (a cut link zeroes effective
+// capacity and NetworkService parks the flow) for a full timeout window,
+// the attempt is killed and retried after a capped exponential backoff —
+// the task re-enters the scheduler pool, which by then may see post-fault
+// distances and route around the break. Repeated stall kills on one node
+// feed the blacklist exactly like task failures, so a node behind a
+// persistently broken path sits out a probation. With the default
+// stall_timeout == 0 none of this arms a single event or touches RNG:
+// runs are byte-identical to the watchdog-free engine.
+
+Seconds Engine::stall_backoff(std::size_t retries) const {
+  MRS_ASSERT(retries > 0);
+  Seconds backoff = config_.stall_backoff_base;
+  for (std::size_t i = 1; i < retries && backoff < config_.stall_backoff_cap;
+       ++i) {
+    backoff *= 2.0;
   }
+  return std::min(backoff, config_.stall_backoff_cap);
+}
+
+void Engine::note_stall_kill(NodeId node) {
+  const bool was_listed = blacklist_.listed(node);
+  blacklist_.note_failure(node, now());
+  if (!blacklist_.listed(node)) return;
+  if (!was_listed) {
+    trace(sim::TraceEventKind::kNodeBlacklisted,
+          strf("node/%zu", node.value()));
+  }
+  // The node is alive (its transfers stalled; it did not crash), so the
+  // recovery hook that normally starts probation never runs — start (or,
+  // on a repeat offense mid-probation, restart) it here. note_failure just
+  // invalidated any pending probation end, so without this restart the
+  // node would stay unschedulable forever.
+  if (cluster_->node_alive(node)) begin_probation(node);
+}
+
+void Engine::arm_map_stall_watchdog(JobRun& job, std::size_t j) {
+  if (config_.stall_timeout <= 0.0) return;
+  const auto epoch = job.map_state(j).epoch;
+  simulation_->schedule_in(config_.stall_timeout, [this, &job, j, epoch] {
+    if (job.map_state(j).epoch != epoch) return;  // attempt gone
+    check_map_stall(job, j);
+  });
+}
+
+void Engine::check_map_stall(JobRun& job, std::size_t j) {
+  MapTaskState& s = job.map_state(j);
+  if (s.phase != MapPhase::kFetching) return;  // fetch finished meanwhile
+  const bool stalled = s.fetch_flow.valid() &&
+                       network_->flows().info(s.fetch_flow).stalled;
+  // An active backup is already the mitigation for this attempt: let the
+  // race resolve instead of killing both sides of it.
+  if (!stalled || s.backup.active) {
+    arm_map_stall_watchdog(job, j);
+    return;
+  }
+  const NodeId node = s.node;
+  ++s.stall_retries;
+  telemetry::inc(metrics_.transfer_stall_timeouts);
+  trace(sim::TraceEventKind::kStallTimeout,
+        strf("%s/map/%zu", job.spec().name.c_str(), j),
+        strf("node=%zu retries=%zu", node.value(), s.stall_retries));
+  kill_map_attempt(job, j, /*backup=*/false);
+  note_stall_kill(node);
+  if (config_.max_task_attempts != 0 &&
+      s.attempts >= config_.max_task_attempts) {
+    abort_job(job);
+    return;
+  }
+  // Park in backoff before re-entering the pool: an instant retry would
+  // often be placed right back onto the still-broken path.
+  s.phase = MapPhase::kBackoff;
+  const auto epoch = s.epoch;
+  simulation_->schedule_in(
+      stall_backoff(s.stall_retries), [this, &job, j, epoch] {
+        MapTaskState& ms = job.map_state(j);
+        if (ms.epoch != epoch || ms.phase != MapPhase::kBackoff) return;
+        if (job.aborted || job.finish_time >= 0.0) return;
+        ms.phase = MapPhase::kUnassigned;
+        job.note_map_attempt_lost();
+        telemetry::inc(metrics_.transfer_retries);
+      });
+}
+
+void Engine::arm_reduce_stall_watchdog(JobRun& job, std::size_t f) {
+  if (config_.stall_timeout <= 0.0) return;
+  const auto epoch = job.reduce_state(f).epoch;
+  simulation_->schedule_in(config_.stall_timeout, [this, &job, f, epoch] {
+    if (job.reduce_state(f).epoch != epoch) return;
+    check_reduce_stall(job, f);
+  });
+}
+
+void Engine::check_reduce_stall(JobRun& job, std::size_t f) {
+  ReduceTaskState& r = job.reduce_state(f);
+  if (r.phase != ReducePhase::kShuffling) return;  // shuffle done meanwhile
+  // inflight_flows keeps completed ids until the shuffle resolves; the
+  // stall verdict only counts flows still active. Stalled means every
+  // in-flight fetch sits at rate 0 — a single live fetcher still makes
+  // progress and will free a slot for the pending batches.
+  std::size_t active = 0;
+  std::size_t stalled = 0;
+  for (const FlowId flow : r.inflight_flows) {
+    const net::FlowInfo& info = network_->flows().info(flow);
+    if (!info.active) continue;
+    ++active;
+    stalled += info.stalled ? 1 : 0;
+  }
+  if (active == 0 || stalled < active) {
+    arm_reduce_stall_watchdog(job, f);
+    return;
+  }
+  const NodeId node = r.node;
+  ++r.stall_retries;
+  telemetry::inc(metrics_.transfer_stall_timeouts);
+  trace(sim::TraceEventKind::kStallTimeout,
+        strf("%s/reduce/%zu", job.spec().name.c_str(), f),
+        strf("node=%zu retries=%zu", node.value(), r.stall_retries));
+  kill_reduce_attempt(job, f, /*requeue=*/false);
+  note_stall_kill(node);
+  if (config_.max_task_attempts != 0 &&
+      r.attempts >= config_.max_task_attempts) {
+    abort_job(job);
+    return;
+  }
+  const auto epoch = r.epoch;
+  simulation_->schedule_in(
+      stall_backoff(r.stall_retries), [this, &job, f, epoch] {
+        ReduceTaskState& rs = job.reduce_state(f);
+        if (rs.epoch != epoch || rs.phase != ReducePhase::kBackoff) return;
+        if (job.aborted || job.finish_time >= 0.0) return;
+        rs.phase = ReducePhase::kUnassigned;
+        job.note_reduce_attempt_lost();
+        telemetry::inc(metrics_.transfer_retries);
+      });
 }
 
 // ---------------------------------------------------------------------------

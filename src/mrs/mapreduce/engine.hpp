@@ -85,6 +85,15 @@ struct EngineConfig {
   /// Abort a job when any of its tasks loses this many attempts to node
   /// failures (Hadoop's mapred.map.max.attempts); 0 = never abort.
   std::size_t max_task_attempts = 0;
+  /// Kill and retry a map fetch / reduce shuffle whose transfers have been
+  /// stalled (rate 0, e.g. a cut link) for this long. 0 disables the
+  /// watchdog entirely: no events armed, byte-identical to earlier builds.
+  Seconds stall_timeout = 0.0;
+  /// Retry backoff after a stall kill: attempt n waits
+  /// min(base * 2^(n-1), cap) before re-entering the unassigned pool, so a
+  /// still-broken path is not immediately re-offered the same flow.
+  Seconds stall_backoff_base = 5.0;
+  Seconds stall_backoff_cap = 60.0;
   /// Repeatedly failing nodes sit out a probation after recovery.
   control::BlacklistConfig blacklist;
 };
@@ -260,7 +269,21 @@ class Engine {
   void finish_map(JobRun& job, std::size_t j, bool backup);
   /// Cancel an attempt's pending event / fetch flow and free its slot.
   void kill_map_attempt(JobRun& job, std::size_t j, bool backup);
-  void kill_reduce_attempt(JobRun& job, std::size_t f);
+  /// `requeue` returns the task to the unassigned pool immediately (node
+  /// failures); the stall watchdog passes false and parks it in kBackoff.
+  void kill_reduce_attempt(JobRun& job, std::size_t f, bool requeue = true);
+  // --- transfer stall watchdog (config_.stall_timeout > 0 only) ---
+  void arm_map_stall_watchdog(JobRun& job, std::size_t j);
+  void check_map_stall(JobRun& job, std::size_t j);
+  void arm_reduce_stall_watchdog(JobRun& job, std::size_t f);
+  void check_reduce_stall(JobRun& job, std::size_t f);
+  /// Backoff before retry `retries` (capped exponential).
+  [[nodiscard]] Seconds stall_backoff(std::size_t retries) const;
+  /// Feed a stall kill on `node` into the blacklist (probation machinery).
+  void note_stall_kill(NodeId node);
+  /// Put a recovered-or-alive blacklisted node on probation: unschedulable
+  /// for the configured window, restored unless re-listed meanwhile.
+  void begin_probation(NodeId node);
   /// Launch backup copies for lagging maps on `node` (speculation).
   void maybe_speculate(NodeId node);
   void start_reduce_shuffle(JobRun& job, std::size_t f);
@@ -295,6 +318,8 @@ class Engine {
     telemetry::Counter* nodes_failed = nullptr;
     telemetry::Counter* nodes_recovered = nullptr;
     telemetry::Counter* jobs_aborted = nullptr;
+    telemetry::Counter* transfer_stall_timeouts = nullptr;
+    telemetry::Counter* transfer_retries = nullptr;
     telemetry::Counter* map_locality[3] = {};     ///< node/rack/remote
     telemetry::Counter* reduce_locality[3] = {};  ///< node/rack/remote
     telemetry::TimerStat* heartbeat_wall = nullptr;

@@ -11,6 +11,8 @@ FailureInjector::FailureInjector(sim::Simulation* simulation, Engine* engine,
       engine_(engine),
       cluster_(cluster),
       config_(config),
+      gate_(config.arm_horizon,
+            [engine] { return engine->all_jobs_complete(); }),
       rng_(std::move(rng)) {
   MRS_REQUIRE(simulation_ != nullptr && engine_ != nullptr &&
               cluster_ != nullptr);
@@ -29,14 +31,10 @@ void FailureInjector::arm_next() {
 }
 
 void FailureInjector::fire() {
-  // Stop once the workload is done so the event queue can drain — but not
-  // while the arrival horizon is still open: with an open-loop stream,
-  // "everything currently in the system resolved" is just a quiet gap, and
-  // disarming here would permanently end injection mid-stream.
-  if (engine_->all_jobs_complete() &&
-      simulation_->now() >= config_.arm_horizon) {
-    return;
-  }
+  // The shared gate (control::ArmHorizonGate) stops injection only once
+  // the workload is done AND the arrival horizon has passed — quiet gaps
+  // in an open-loop stream must not permanently disarm the injector.
+  if (gate_.disarmed(simulation_->now())) return;
 
   std::vector<NodeId> alive;
   for (std::size_t i = 0; i < cluster_->node_count(); ++i) {

@@ -6,6 +6,7 @@
 
 #include "mrs/cluster/cluster.hpp"
 #include "mrs/common/rng.hpp"
+#include "mrs/control/arm_horizon.hpp"
 #include "mrs/mapreduce/engine.hpp"
 #include "mrs/sim/simulation.hpp"
 
@@ -47,6 +48,7 @@ class FailureInjector {
   Engine* engine_;
   cluster::Cluster* cluster_;
   FailureInjectorConfig config_;
+  control::ArmHorizonGate gate_;
   Rng rng_;
   std::size_t fired_ = 0;
 };

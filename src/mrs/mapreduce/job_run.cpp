@@ -66,6 +66,7 @@ double JobRun::map_progress(std::size_t j, Seconds now) const {
   switch (s.phase) {
     case MapPhase::kUnassigned:
     case MapPhase::kStartup:
+    case MapPhase::kBackoff:
       return 0.0;
     case MapPhase::kFetching: {
       // Streaming remote read: progress tracks the nominal compute pace

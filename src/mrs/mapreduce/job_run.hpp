@@ -24,13 +24,24 @@
 
 namespace mrs::mapreduce {
 
-enum class MapPhase { kUnassigned, kStartup, kFetching, kComputing, kDone };
+enum class MapPhase {
+  kUnassigned,
+  kStartup,
+  kFetching,
+  kComputing,
+  kDone,
+  /// Killed after a transfer stall; waiting out the retry backoff before
+  /// returning to the unassigned pool. Invisible to schedulers (the
+  /// placement cursors only match kUnassigned).
+  kBackoff,
+};
 enum class ReducePhase {
   kUnassigned,
   kStartup,
   kShuffling,   ///< waiting for / fetching map outputs
   kComputing,   ///< sort + reduce function
   kDone,
+  kBackoff,     ///< stall-killed, waiting out the retry backoff
 };
 
 /// A speculative backup copy of a map task (Hadoop speculative execution):
@@ -62,6 +73,9 @@ struct MapTaskState {
   bool straggler = false;
   /// Attempts started so far (>= 2 after a failure re-run or speculation).
   std::size_t attempts = 0;
+  /// Attempts killed by the transfer stall watchdog (cumulative across
+  /// retries; drives the backoff exponent).
+  std::size_t stall_retries = 0;
   /// Bumped whenever an attempt is killed; in-flight callbacks compare it.
   std::uint64_t epoch = 0;
   FlowId fetch_flow = FlowId::invalid();
@@ -81,6 +95,8 @@ struct ReduceTaskState {
   std::size_t postpone_count = 0;
   /// Attempts started so far (> 1 after a node failure re-run).
   std::size_t attempts = 0;
+  /// Attempts killed by the shuffle stall watchdog (cumulative).
+  std::size_t stall_retries = 0;
   /// Bumped whenever the attempt is killed; in-flight fetch callbacks
   /// compare it and drop stale completions.
   std::uint64_t epoch = 0;

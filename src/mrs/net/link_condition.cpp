@@ -19,6 +19,7 @@ LinkConditionModel::LinkConditionModel(const Topology* topo,
       cfg_(cfg),
       rng_(std::move(rng)),
       utilization_(topo->link_count() * 2, 0.0),
+      surge_(topo->link_count(), 0.0),
       faulted_(topo->link_count(), 0) {
   MRS_REQUIRE(topo_ != nullptr);
   MRS_REQUIRE(cfg_.mean_utilization >= 0.0 && cfg_.mean_utilization < 1.0);
@@ -50,6 +51,8 @@ void LinkConditionModel::advance_to(Seconds t) {
 
 void LinkConditionModel::resample() {
   ++epoch_;
+  // Every link draws from the stream regardless of fault or surge state:
+  // repairing a link must not shift its neighbours' utilization series.
   for (std::size_t l = 0; l < topo_->link_count(); ++l) {
     const Link& link = topo_->link(LinkId(l));
     const bool host_link =
@@ -84,10 +87,26 @@ void LinkConditionModel::set_link_fault(LinkId link, bool faulted) {
   ++epoch_;  // derived capacities changed out-of-band of the resample grid
 }
 
+void LinkConditionModel::add_link_surge(LinkId link, double delta) {
+  if (delta == 0.0) return;
+  double& s = surge_.at(link.value());
+  const bool was_surged = s > 0.0;
+  s = std::max(0.0, s + delta);
+  if (s < 1e-12) s = 0.0;  // float dust must not keep a link "surged"
+  const bool surged = s > 0.0;
+  if (was_surged != surged) surged_count_ += surged ? 1 : -1;
+  ++epoch_;  // derived capacities changed out-of-band of the resample grid
+}
+
 BytesPerSec LinkConditionModel::effective_capacity(DirectedLink dl) const {
   if (faulted_[dl.link.value()] != 0) return 0.0;
   const Link& link = topo_->link(dl.link);
-  const double u = utilization_[dl.directed_index()];
+  // The surge overlay adds on top of the drawn utilization; the combined
+  // value respects the same [0, kMaxUtilization] clamp as the draws, so a
+  // surge can degrade a link to at most 5% of nominal, never cut it.
+  const double u = std::clamp(
+      utilization_[dl.directed_index()] + surge_[dl.link.value()], 0.0,
+      kMaxUtilization);
   return link.capacity * (1.0 - u);
 }
 

@@ -61,6 +61,21 @@ class LinkConditionModel {
     return faulted_count_;
   }
 
+  /// Temporarily raise the background utilization of a link beyond its
+  /// drawn value (surge episodes): `delta` adds to both directions; a
+  /// negative delta removes a previously added surge (floored at 0).
+  /// The combined utilization is clamped to the documented [0, 0.95] range
+  /// at query time, so a surge can never starve a link completely. RNG-free
+  /// — the background-traffic stream is untouched, so removing a surge
+  /// restores the exact utilization the resample grid would have produced —
+  /// and epoch-bumping, so cached distance matrices and the flow model see
+  /// the change.
+  void add_link_surge(LinkId link, double delta);
+  [[nodiscard]] double link_surge(LinkId link) const {
+    return surge_.at(link.value());
+  }
+  [[nodiscard]] std::size_t surged_link_count() const { return surged_count_; }
+
   /// Uncongested-equivalent transmission rate of the src->dst path: the
   /// minimum effective capacity along the route. Returns +inf for src==dst.
   [[nodiscard]] BytesPerSec path_rate(NodeId src, NodeId dst) const;
@@ -94,8 +109,10 @@ class LinkConditionModel {
   Seconds now_ = 0.0;
   Seconds next_resample_ = 0.0;
   std::vector<double> utilization_;  ///< per directed link, in [0, 0.95]
+  std::vector<double> surge_;        ///< per (undirected) link, >= 0
   std::vector<char> faulted_;        ///< per (undirected) link
   std::size_t faulted_count_ = 0;
+  std::size_t surged_count_ = 0;
   std::uint64_t epoch_ = 0;
   double reference_rate_;            ///< min host-link capacity (for scaling)
 };

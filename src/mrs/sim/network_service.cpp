@@ -42,6 +42,14 @@ FlowId NetworkService::transfer(NodeId src, NodeId dst, Bytes size,
   return id;
 }
 
+void NetworkService::on_condition_changed() {
+  if (cond_ != nullptr) cond_->advance_to(simulation_->now());
+  flows_.advance_to(simulation_->now());
+  flows_.recompute_rates();
+  sync();
+  arm_condition_tick();
+}
+
 void NetworkService::cancel(FlowId id) {
   flows_.cancel(id, simulation_->now());
   callbacks_.erase(id);

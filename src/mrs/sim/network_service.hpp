@@ -38,6 +38,12 @@ class NetworkService {
   /// Abort an in-flight transfer; its callback will not fire.
   void cancel(FlowId id);
 
+  /// Out-of-band link-condition change (fault injection, surge episodes):
+  /// advance the condition model and flows to sim-now, recompute rates so
+  /// flows crossing a cut park (or resume after repair) immediately rather
+  /// than at the next flow event, and dispatch any resulting completions.
+  void on_condition_changed();
+
   [[nodiscard]] const net::FlowModel& flows() const { return flows_; }
   [[nodiscard]] std::size_t active_transfers() const {
     return flows_.active_count();

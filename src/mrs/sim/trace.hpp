@@ -30,6 +30,7 @@ enum class TraceEventKind {
   kJobAborted,
   kNodeBlacklisted,
   kNodeUnblacklisted,
+  kStallTimeout,
 };
 
 [[nodiscard]] constexpr const char* to_string(TraceEventKind k) {
@@ -50,6 +51,7 @@ enum class TraceEventKind {
     case TraceEventKind::kJobAborted: return "job-aborted";
     case TraceEventKind::kNodeBlacklisted: return "node-blacklisted";
     case TraceEventKind::kNodeUnblacklisted: return "node-unblacklisted";
+    case TraceEventKind::kStallTimeout: return "stall-timeout";
   }
   return "?";
 }

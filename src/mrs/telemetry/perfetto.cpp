@@ -147,7 +147,8 @@ std::string to_chrome_trace(
       }
       case TraceEventKind::kSpeculativeLaunch:
       case TraceEventKind::kNodeFailed:
-      case TraceEventKind::kNodeRecovered: {
+      case TraceEventKind::kNodeRecovered:
+      case TraceEventKind::kStallTimeout: {
         long tid = parse_long_field(e.detail, "node=");
         if (tid < 0) tid = parse_long_field(e.detail, "backup-node=");
         if (tid < 0) tid = parse_long_field(e.subject, "node/");

@@ -145,6 +145,38 @@ TEST(CausalTrace, BlameBucketsSumToResponseUnderFaults) {
   check_blames(run_experiment(faulty_config()));
 }
 
+/// Aggressive network chaos + the stall watchdog: transfers park on cut
+/// links, time out, and retry through the kill/re-place machinery.
+ExperimentConfig chaos_traced_config(std::uint64_t seed = 7) {
+  auto cfg = traced_config(seed);
+  cfg.net_faults.link_mtbf = 10.0;  // aggressive: dozens of cuts per run
+  cfg.net_faults.link_repair_time = 40.0;
+  cfg.net_faults.switch_mtbf = 400.0;
+  cfg.net_faults.switch_repair_time = 90.0;
+  cfg.net_faults.surge_mtbf = 300.0;
+  cfg.net_faults.surge_duration = 120.0;
+  cfg.engine.stall_timeout = 5.0;
+  cfg.engine.stall_backoff_base = 2.0;
+  cfg.engine.stall_backoff_cap = 10.0;
+  return cfg;
+}
+
+TEST(CausalTrace, BlameBucketsSumToResponseUnderNetworkChaos) {
+  // Stall-retry attempts enter the span trees as killed attempts; the
+  // blame partition must stay exact (every bucket non-negative, buckets
+  // summing to the measured response) with the retry bucket absorbing the
+  // backoff gaps the watchdog introduces.
+  const auto result = run_experiment(chaos_traced_config());
+  check_blames(result);
+  // The chaos actually bit: transfers stalled, timed out and retried.
+  EXPECT_GT(result.telemetry.counter("engine.transfer.stall_timeouts"), 0.0);
+  EXPECT_GT(result.telemetry.counter("engine.transfer.retries"), 0.0);
+  EXPECT_GT(result.telemetry.counter("net.fault.links_cut"), 0.0);
+  double retry_blame = 0.0;
+  for (const auto& b : result.job_blames) retry_blame += b.retry();
+  EXPECT_GT(retry_blame, 0.0);
+}
+
 TEST(CausalTrace, DecisionRecordsEmittedForAcceptAndReject) {
   const auto result = run_experiment(traced_config());
   ASSERT_FALSE(result.decisions.empty());
@@ -271,6 +303,28 @@ TEST(CausalTrace, NodeSlotSamplerColumns) {
     // Per-node columns agree with the cluster-wide busy gauge (column 3).
     EXPECT_DOUBLE_EQ(busy_maps, row.values[3]);
   }
+}
+
+TEST(CausalTrace, FaultedLinkCountSamplerColumnOnlyUnderChaos) {
+  // With a fault config active the sampler gains one trailing
+  // `faulted_link_count` column (the non-fault layout stays exactly as
+  // NodeSlotSamplerColumns pins it).
+  ExperimentConfig cfg = chaos_traced_config();
+  cfg.sample_node_slots = true;
+  cfg.sample_period = 5.0;
+  const auto result = run_experiment(cfg);
+  const auto& s = result.samples;
+  ASSERT_FALSE(s.rows.empty());
+  ASSERT_EQ(s.columns.size(), 10u + 4u * cfg.nodes + 1u);
+  EXPECT_EQ(s.columns.back(), "faulted_link_count");
+  double peak = 0.0;
+  for (const auto& row : s.rows) {
+    ASSERT_EQ(row.values.size(), s.columns.size());
+    EXPECT_GE(row.values.back(), 0.0);
+    peak = std::max(peak, row.values.back());
+  }
+  // At mtbf 60 s / repair 45 s some sample catches a link down.
+  EXPECT_GT(peak, 0.0);
 }
 
 TEST(CausalTrace, WritesAnalyzableJsonl) {

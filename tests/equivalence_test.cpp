@@ -29,7 +29,7 @@ std::vector<workload::JobDescription> batch_jobs() {
   };
 }
 
-void expect_identical_results(const ExperimentResult& naive,
+void expect_identical_records(const ExperimentResult& naive,
                               const ExperimentResult& fast) {
   EXPECT_EQ(naive.completed, fast.completed);
   ASSERT_EQ(naive.task_records.size(), fast.task_records.size());
@@ -57,6 +57,11 @@ void expect_identical_results(const ExperimentResult& naive,
     EXPECT_DOUBLE_EQ(n.shuffle_bytes, f.shuffle_bytes);
   }
   EXPECT_DOUBLE_EQ(naive.makespan, fast.makespan);
+}
+
+void expect_identical_results(const ExperimentResult& naive,
+                              const ExperimentResult& fast) {
+  expect_identical_records(naive, fast);
   EXPECT_EQ(naive.events_processed, fast.events_processed);
 }
 
@@ -359,6 +364,98 @@ TEST(Heterogeneity, SerialAndParallelHeteroStreamsIdentical) {
   expect_identical_results(serial.run, threaded.run);
   expect_identical_tenant_summaries(serial.steady, threaded.steady);
   EXPECT_TRUE(other.run.completed);
+}
+
+control::NetworkFaultInjectorConfig chaos_config() {
+  control::NetworkFaultInjectorConfig net;
+  net.link_mtbf = 80.0;
+  net.link_repair_time = 60.0;
+  net.switch_mtbf = 300.0;
+  net.switch_repair_time = 90.0;
+  net.repair_jitter = 0.3;
+  net.surge_mtbf = 200.0;
+  net.surge_duration = 120.0;
+  net.surge_utilization = 0.6;
+  return net;
+}
+
+TEST(NetworkChaos, DisabledConfigIsByteIdenticalToSeed) {
+  // A NetworkFaultInjectorConfig whose families are all disabled must be a
+  // provable no-op: the injector arms nothing, consumes no draws from the
+  // other streams (its sub-stream is a labeled split), and the run matches
+  // a config that never mentions network faults, byte for byte.
+  for (const auto kind : {SchedulerKind::kPna, SchedulerKind::kMinCost}) {
+    ExperimentConfig plain = paper_config(batch_jobs(), kind, 4);
+    plain.nodes = 12;
+    ExperimentConfig wired = plain;
+    wired.net_faults.link_repair_time = 45.0;   // non-default but inert:
+    wired.net_faults.surge_utilization = 0.9;   // every mtbf stays 0
+    const auto base = run_experiment(plain);
+    const auto chaos = run_experiment(wired);
+    EXPECT_TRUE(base.completed);
+    expect_identical_results(base, chaos);
+  }
+}
+
+TEST(NetworkChaos, StallTimeoutIsNoopOnCleanNetwork) {
+  // On a fault-free network no transfer ever stalls, so the stall watchdog
+  // must be pure bookkeeping: same placements, same records, no retries.
+  // (The watchdog timers themselves still fire and find nothing stalled, so
+  // events_processed is the one result field allowed to differ.)
+  ExperimentConfig plain = paper_config(batch_jobs(), SchedulerKind::kPna, 6);
+  plain.nodes = 12;
+  ExperimentConfig guarded = plain;
+  guarded.engine.stall_timeout = 45.0;
+  const auto base = run_experiment(plain);
+  const auto watched = run_experiment(guarded);
+  EXPECT_TRUE(base.completed);
+  expect_identical_records(base, watched);
+}
+
+TEST(NetworkChaos, SerialAndParallelChaosRunsIdentical) {
+  // The determinism contract survives the full chaos stack: link cuts,
+  // switch faults, surges and stall-retry all replay byte-identically when
+  // the run shares the process with an unrelated concurrent experiment.
+  ExperimentConfig cfg = paper_config(batch_jobs(), SchedulerKind::kPna, 7);
+  cfg.nodes = 12;
+  cfg.net_faults = chaos_config();
+  cfg.engine.stall_timeout = 30.0;
+  const auto serial = run_experiment(cfg);
+  EXPECT_TRUE(serial.completed);
+
+  ExperimentResult threaded, other;
+  std::thread worker([&] { threaded = run_experiment(cfg); });
+  std::thread noise([&] {
+    ExperimentConfig noisy =
+        paper_config(batch_jobs(), SchedulerKind::kMinCost, 8);
+    noisy.nodes = 12;
+    noisy.net_faults = chaos_config();
+    noisy.engine.stall_timeout = 30.0;
+    other = run_experiment(noisy);
+  });
+  worker.join();
+  noise.join();
+  expect_identical_results(serial, threaded);
+  EXPECT_TRUE(other.completed);
+}
+
+TEST(NetworkChaos, FastVsNaiveIdenticalUnderChaos) {
+  // The incremental free-slot / row-sum structures must track the naive
+  // path even while faults reshuffle distances and stall-kills recycle
+  // attempts mid-run.
+  for (const auto kind :
+       {SchedulerKind::kPna, SchedulerKind::kMinCost, SchedulerKind::kFifo}) {
+    ExperimentConfig cfg = paper_config(batch_jobs(), kind, 9);
+    cfg.nodes = 12;
+    cfg.net_faults = chaos_config();
+    cfg.engine.stall_timeout = 30.0;
+    ExperimentConfig naive_cfg = cfg;
+    naive_cfg.naive_scheduler_path = true;
+    const auto fast = run_experiment(cfg);
+    const auto naive = run_experiment(naive_cfg);
+    EXPECT_TRUE(fast.completed) << to_string(kind);
+    expect_identical_results(naive, fast);
+  }
 }
 
 std::string param_name(

@@ -2,13 +2,149 @@
 #include <gtest/gtest.h>
 
 #include "mrs/mapreduce/failure_injector.hpp"
+#include "mrs/net/link_condition.hpp"
 #include "mrs/sched/fifo.hpp"
+#include "mrs/sim/trace.hpp"
+#include "mrs/telemetry/registry.hpp"
 #include "test_harness.hpp"
 
 namespace mrs::mapreduce {
 namespace {
 
 using mrs::testing::MiniCluster;
+
+// MiniCluster with a link-condition model wired into the network service,
+// so tests can cut links out-of-band and watch the stall machinery react.
+struct ChaosCluster {
+  explicit ChaosCluster(std::size_t nodes, mapreduce::EngineConfig engine_cfg)
+      : topo(net::make_single_rack(nodes, units::Gbps(1))),
+        cond(&topo, {}, Rng(21)),  // clean background; faults added by hand
+        store(nodes),
+        placer(&topo, Rng(7)),
+        clstr(&topo, {}, Rng(8)),
+        network(&sim, &topo, &cond),
+        distance(topo),
+        engine(&sim, &clstr, &store, &network, &distance, engine_cfg) {}
+
+  JobRun& submit_job(std::size_t maps, std::size_t reduces, Bytes block) {
+    JobSpec spec;
+    spec.name = "job" + std::to_string(counter);
+    spec.reduce_count = reduces;
+    spec.map_selectivity = 1.0;
+    spec.selectivity_jitter = 0.0;
+    spec.map_rate = 32.0 * units::kMiB;
+    spec.reduce_rate = 32.0 * units::kMiB;
+    spec.task_startup = 0.5;
+    for (std::size_t j = 0; j < maps; ++j) {
+      const BlockId b = store.add_block(
+          block, placer.place(2, dfs::PlacementPolicy::kHdfsDefault));
+      spec.map_tasks.push_back({b, block});
+    }
+    return engine.submit(std::move(spec), Rng(100 + counter++));
+  }
+
+  void set_link_fault(LinkId link, bool faulted) {
+    cond.set_link_fault(link, faulted);
+    network.on_condition_changed();
+  }
+
+  sim::Simulation sim;
+  net::Topology topo;
+  net::LinkConditionModel cond;
+  dfs::BlockStore store;
+  dfs::BlockPlacer placer;
+  cluster::Cluster clstr;
+  sim::NetworkService network;
+  net::HopDistanceProvider distance;
+  mapreduce::Engine engine;
+  int counter = 0;
+};
+
+TEST(StallRetry, CutTransferTimesOutRetriesAndCompletes) {
+  // Cut every link for a window much longer than the stall timeout: any
+  // in-flight fetch or shuffle parks at rate zero, the watchdog kills the
+  // attempt after `stall_timeout`, and the capped-backoff retry machinery
+  // re-places it. Once the links repair, every job must still finish.
+  EngineConfig cfg;
+  cfg.stall_timeout = 3.0;
+  cfg.stall_backoff_base = 1.0;
+  cfg.stall_backoff_cap = 4.0;
+  ChaosCluster h(4, cfg);
+  h.submit_job(16, 4, 256.0 * units::kMiB);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  telemetry::Registry registry;
+  h.engine.set_telemetry(&registry);
+  sim::MemoryTraceSink trace;
+  h.engine.set_trace_sink(&trace);
+  h.engine.start();
+  h.sim.schedule_at(1.0, [&] {
+    for (std::size_t l = 0; l < h.topo.link_count(); ++l) {
+      h.set_link_fault(LinkId(l), true);
+    }
+  });
+  h.sim.schedule_at(40.0, [&] {
+    for (std::size_t l = 0; l < h.topo.link_count(); ++l) {
+      h.set_link_fault(LinkId(l), false);
+    }
+  });
+  h.sim.run(1e6);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  EXPECT_EQ(h.clstr.busy_map_slots(), 0u);
+  EXPECT_EQ(h.clstr.busy_reduce_slots(), 0u);
+  const auto snap = registry.snapshot();
+  EXPECT_GT(snap.counter("engine.transfer.stall_timeouts"), 0u);
+  EXPECT_GT(snap.counter("engine.transfer.retries"), 0u);
+  // Every stall kill is traced, and every kill eventually produced a retry
+  // (nothing hit the attempt cap: max_task_attempts defaults to 0).
+  EXPECT_EQ(trace.count(sim::TraceEventKind::kStallTimeout),
+            snap.counter("engine.transfer.stall_timeouts"));
+  EXPECT_EQ(snap.counter("engine.transfer.retries"),
+            snap.counter("engine.transfer.stall_timeouts"));
+}
+
+TEST(StallRetry, RepeatedStallKillsFeedBlacklistProbation) {
+  // Stall kills count as node failures: two kills inside the window list
+  // the node, listing starts a probation that keeps it unschedulable, and
+  // the probation must end (and the node return to service) once the
+  // network heals — even when later stall kills restart the window.
+  EngineConfig cfg;
+  cfg.stall_timeout = 3.0;
+  cfg.stall_backoff_base = 1.0;
+  cfg.stall_backoff_cap = 4.0;
+  cfg.blacklist.enabled = true;
+  cfg.blacklist.failure_threshold = 2;
+  cfg.blacklist.window = 600.0;
+  cfg.blacklist.probation = 10.0;
+  ChaosCluster h(4, cfg);
+  h.submit_job(16, 4, 256.0 * units::kMiB);
+  sched::FifoScheduler fifo;
+  h.engine.set_scheduler(&fifo);
+  sim::MemoryTraceSink trace;
+  h.engine.set_trace_sink(&trace);
+  h.engine.start();
+  h.sim.schedule_at(1.0, [&] {
+    for (std::size_t l = 0; l < h.topo.link_count(); ++l) {
+      h.set_link_fault(LinkId(l), true);
+    }
+  });
+  h.sim.schedule_at(40.0, [&] {
+    for (std::size_t l = 0; l < h.topo.link_count(); ++l) {
+      h.set_link_fault(LinkId(l), false);
+    }
+  });
+  h.sim.run(1e6);
+  EXPECT_TRUE(h.engine.all_jobs_complete());
+  EXPECT_GE(trace.count(sim::TraceEventKind::kStallTimeout), 2u);
+  EXPECT_GE(trace.count(sim::TraceEventKind::kNodeBlacklisted), 1u);
+  // Every listed node served out its probation and rejoined: the run ends
+  // with the whole cluster schedulable again.
+  EXPECT_EQ(trace.count(sim::TraceEventKind::kNodeUnblacklisted),
+            trace.count(sim::TraceEventKind::kNodeBlacklisted));
+  for (std::size_t n = 0; n < 4; ++n) {
+    EXPECT_TRUE(h.clstr.node(NodeId(n)).schedulable) << "node " << n;
+  }
+}
 
 TEST(FailNode, RunningMapsRescheduled) {
   MiniCluster h(4);

@@ -151,6 +151,24 @@ TEST(RateDistanceProvider, CacheFollowsEpoch) {
   EXPECT_TRUE(changed);
 }
 
+TEST(RateDistanceProvider, CacheFollowsFaultEpochs) {
+  // Fault-driven epoch bumps refresh the provider cache even with zero
+  // background traffic (no resample grid): schedulers consulting the
+  // provider see a cut immediately and see the exact pre-cut distances
+  // back after repair.
+  const Topology t = make_single_rack(4, units::Gbps(1));
+  LinkConditionModel m(&t, {}, Rng(11));  // clean: epochs move only on faults
+  RateDistanceProvider p(&m, RateDistanceProvider::Form::kPerLinkSum);
+  const LinkId link = t.path(NodeId(0), NodeId(1)).front().link;
+  const double d0 = p.distance(NodeId(0), NodeId(1), 0.0);
+  m.set_link_fault(link, true);
+  const double cut = p.distance(NodeId(0), NodeId(1), 0.0);
+  EXPECT_GT(cut, d0 * 1e6);  // cut paths rank far behind healthy ones
+  EXPECT_TRUE(std::isfinite(cut));
+  m.set_link_fault(link, false);
+  EXPECT_DOUBLE_EQ(p.distance(NodeId(0), NodeId(1), 0.0), d0);
+}
+
 TEST(LoadAwareProvider, IdleEqualsHops) {
   const Topology t = make_single_rack(4, units::Gbps(1));
   FlowModel fm(&t);
@@ -266,6 +284,87 @@ TEST(LinkFault, FlowOverCutLinkStallsUntilRepair) {
   const auto done = fm.collect_completed();
   EXPECT_TRUE(std::find(done.begin(), done.end(), cut) != done.end());
   EXPECT_FALSE(fm.info(cut).active);
+}
+
+TEST(Surge, AddRemoveRestoresBaselineExactly) {
+  const Topology t = make_single_rack(3);
+  LinkConditionModel m(&t, busy_config(), Rng(12));
+  const LinkId link = t.path(NodeId(0), NodeId(1)).front().link;
+  const DirectedLink fwd{link, false};
+  const DirectedLink rev{link, true};
+  const double base_fwd = m.effective_capacity(fwd);
+  const double base_rev = m.effective_capacity(rev);
+  const auto epoch0 = m.resample_epoch();
+
+  m.add_link_surge(link, 0.3);
+  EXPECT_EQ(m.surged_link_count(), 1u);
+  EXPECT_EQ(m.resample_epoch(), epoch0 + 1);
+  EXPECT_LT(m.effective_capacity(fwd), base_fwd);
+  EXPECT_LT(m.effective_capacity(rev), base_rev);
+
+  // Removal is exact (no float dust keeps the link "surged") and returns
+  // the pre-surge capacities bit-for-bit.
+  m.add_link_surge(link, -0.3);
+  EXPECT_EQ(m.surged_link_count(), 0u);
+  EXPECT_DOUBLE_EQ(m.effective_capacity(fwd), base_fwd);
+  EXPECT_DOUBLE_EQ(m.effective_capacity(rev), base_rev);
+}
+
+TEST(Surge, CombinedUtilizationRespectsClamp) {
+  const Topology t = make_single_rack(4);
+  LinkConditionModel m(&t, busy_config(), Rng(13));
+  // Stack surges far past 1.0: the effective utilization must still clamp
+  // at 0.95, i.e. every link keeps >= 5% of its nominal capacity.
+  for (std::size_t l = 0; l < t.link_count(); ++l) {
+    m.add_link_surge(LinkId(l), 0.9);
+    m.add_link_surge(LinkId(l), 0.9);
+  }
+  for (std::size_t l = 0; l < t.link_count(); ++l) {
+    const Link& link = t.link(LinkId(l));
+    for (bool r : {false, true}) {
+      const double cap = m.effective_capacity(DirectedLink{LinkId(l), r});
+      EXPECT_GE(cap, 0.05 * link.capacity - 1e-6);
+      EXPECT_LT(cap, link.capacity);
+    }
+  }
+}
+
+// Pinned-RNG regression: a faulted (or surged) link keeps consuming its
+// per-resample stream draws, so cutting a link in one run must not shift
+// any other link's utilization sequence relative to a fault-free twin.
+TEST(LinkFault, FaultedLinksKeepConsumingDraws) {
+  const Topology t = make_single_rack(4);
+  LinkConditionModel faulted(&t, busy_config(), Rng(14));
+  LinkConditionModel clean(&t, busy_config(), Rng(14));
+  const LinkId link = t.path(NodeId(0), NodeId(1)).front().link;
+  faulted.set_link_fault(link, true);
+  faulted.add_link_surge(LinkId(0), 0.4);
+  for (Seconds now = 10.0; now <= 100.0; now += 10.0) {
+    faulted.advance_to(now);
+    clean.advance_to(now);
+    for (std::size_t d = 0; d < t.link_count() * 2; ++d) {
+      ASSERT_DOUBLE_EQ(faulted.utilization(d), clean.utilization(d))
+          << "directed link " << d << " at t=" << now;
+    }
+  }
+}
+
+// advance_to across resample boundaries must not resurrect a faulted
+// link's capacity: the fault outlives any number of background redraws.
+TEST(LinkFault, ResampleNeverResurrectsFaultedLink) {
+  const Topology t = make_single_rack(3);
+  LinkConditionModel m(&t, busy_config(), Rng(15));
+  const LinkId link = t.path(NodeId(0), NodeId(1)).front().link;
+  m.set_link_fault(link, true);
+  for (Seconds now = 10.0; now <= 200.0; now += 10.0) {
+    m.advance_to(now);
+    for (bool r : {false, true}) {
+      ASSERT_EQ(m.effective_capacity(DirectedLink{link, r}), 0.0)
+          << "at t=" << now;
+    }
+  }
+  m.set_link_fault(link, false);
+  EXPECT_GT(m.effective_capacity(DirectedLink{link, false}), 0.0);
 }
 
 }  // namespace

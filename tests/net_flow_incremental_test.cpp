@@ -25,6 +25,7 @@ struct DifferentialOptions {
   std::size_t events = 1000;
   bool with_condition = false;  ///< background-traffic resamples (epochs)
   bool with_faults = false;     ///< random link cuts/repairs
+  bool with_switch_faults = false;  ///< correlated whole-switch cuts/repairs
   std::size_t max_live = 200;   ///< force drains past this backlog
 };
 
@@ -33,6 +34,11 @@ class Differential {
   Differential(const Topology* topo, std::uint64_t seed,
                const DifferentialOptions& opt)
       : topo_(topo), opt_(opt), rng_(seed) {
+    for (std::size_t v = 0; v < topo_->vertex_count(); ++v) {
+      if (topo_->vertex(v).kind == VertexKind::kSwitch) {
+        switch_vertices_.push_back(v);
+      }
+    }
     BackgroundTrafficConfig bg;
     if (opt_.with_condition) {
       bg.mean_utilization = 0.3;
@@ -84,6 +90,8 @@ class Differential {
       cancel_flow();
     } else if (opt_.with_faults && roll < 0.97) {
       toggle_fault();
+    } else if (opt_.with_switch_faults && roll < 0.985) {
+      toggle_switch_fault();
     } else {
       for (auto& fm : models_) fm->recompute_rates();
     }
@@ -151,6 +159,24 @@ class Differential {
     }
   }
 
+  void toggle_switch_fault() {
+    // Correlated whole-switch event, mirroring NetworkFaultInjector: set
+    // EVERY link adjacent to a sampled switch to the new state in one
+    // batch, regardless of each link's prior state (some may already be
+    // down from single-link cuts), then re-solve once. The incremental
+    // solver must absorb the multi-link epoch bump exactly like the naive
+    // full scan does.
+    const std::size_t v =
+        switch_vertices_[rng_.index(switch_vertices_.size())];
+    const bool cut = rng_.bernoulli(0.5);
+    for (const auto& adj : topo_->neighbors(v)) {
+      for (auto& cond : conds_) cond->set_link_fault(adj.link, cut);
+    }
+    if (rng_.bernoulli(0.5)) {
+      for (auto& fm : models_) fm->recompute_rates();
+    }
+  }
+
   void collect_all() {
     const std::vector<FlowId> done = models_[0]->collect_completed();
     for (std::size_t m = 1; m < 3; ++m) {
@@ -207,6 +233,7 @@ class Differential {
   std::vector<std::unique_ptr<LinkConditionModel>> conds_;
   std::vector<std::unique_ptr<FlowModel>> models_;
   std::vector<FlowId> live_;
+  std::vector<std::size_t> switch_vertices_;
 };
 
 class FlowDifferential : public ::testing::TestWithParam<std::uint64_t> {};
@@ -248,6 +275,29 @@ TEST_P(FlowDifferential, FaultsFatTreeK8) {
   opt.events = 800;
   opt.with_condition = true;
   opt.with_faults = true;
+  Differential(&topo, GetParam(), opt).run();
+}
+
+TEST_P(FlowDifferential, SwitchFaultsFatTreeK4) {
+  // Correlated switch-level cuts layered over single-link cuts: the batch
+  // multi-link state flips are the fault pattern NetworkFaultInjector
+  // produces, and the three solvers must stay byte-identical through them.
+  const Topology topo = make_fat_tree({4, units::Gbps(1)});
+  DifferentialOptions opt;
+  opt.events = 1500;
+  opt.with_condition = true;
+  opt.with_faults = true;
+  opt.with_switch_faults = true;
+  Differential(&topo, GetParam(), opt).run();
+}
+
+TEST_P(FlowDifferential, SwitchFaultsFatTreeK8) {
+  const Topology topo = make_fat_tree({8, units::Gbps(1)});
+  DifferentialOptions opt;
+  opt.events = 800;
+  opt.with_condition = true;
+  opt.with_faults = true;
+  opt.with_switch_faults = true;
   Differential(&topo, GetParam(), opt).run();
 }
 

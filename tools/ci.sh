@@ -167,6 +167,30 @@ PNATS_QUICK=1 ./build/bench/bench_hetero_sweep >/dev/null
 test -s bench_out/hetero_sweep_quick.csv
 echo "hetero smoke: bench_out/hetero_sweep_quick.csv written"
 
+echo "==> chaos smoke: degraded network drains with stall retries"
+# A 1.2x-knee stream under link cuts, switch faults and surges with the
+# stall watchdog on: the run must drain cleanly (exit 0 / drained=yes),
+# the chaos summary must report non-zero cuts and stall retries, and the
+# causal trace must stay analyzable (blame partition exact) with the
+# stall-kill retries inside it.
+CH_OUT="$(./build/tools/pnats_sim --arrivals poisson --rate 720 \
+  --duration 600 --nodes 12 --racks 4 --job-scale 0.05 --warmup 100 \
+  --seed 42 --link-mtbf 60 --link-repair 45 --switch-mtbf 400 \
+  --surge 150 --surge-util 0.6 --net-repair-jitter 0.3 \
+  --stall-timeout 30 --blacklist \
+  --log-level warn --quiet --trace-out "$SMOKE_DIR/chaos.jsonl")"
+echo "$CH_OUT" | grep -q 'drained=yes'
+echo "$CH_OUT" | grep -Eq 'links_cut=[1-9]'
+echo "$CH_OUT" | grep -Eq 'stall_timeouts=[1-9][0-9]*'
+echo "$CH_OUT" | grep -Eq 'retries=[1-9][0-9]*'
+test -s "$SMOKE_DIR/chaos.jsonl"
+./build/tools/trace_analyze "$SMOKE_DIR/chaos.jsonl" --top 3 >/dev/null
+echo "chaos smoke: stream drained with non-zero stall retries"
+echo "==> chaos smoke: quick degraded-network bench runs"
+PNATS_QUICK=1 ./build/bench/bench_degraded_network >/dev/null
+test -s bench_out/degraded_network_quick.csv
+echo "chaos smoke: bench_out/degraded_network_quick.csv written"
+
 echo "==> perf smoke: optimized vs naive gated benchmark families"
 ./build/bench/bench_micro_scheduler \
   --benchmark_filter='BM_PnaHeartbeat(Saturated|Hetero|Traced)|BM_FlowEventsFatTree1k' \

@@ -28,6 +28,21 @@
 //     --repair-jitter X   relative jitter on repair times, in [0, 1)
 //                         (default 0 = fixed 120 s repairs)
 //
+//   Network chaos (degraded networks; docs/robustness.md):
+//     --link-mtbf S       mean time between single-link cuts (default off)
+//     --link-repair S     link repair time (default 60)
+//     --switch-mtbf S     mean time between correlated switch faults that
+//                         cut every link on a sampled switch (default off)
+//     --switch-repair S   switch repair time (default 120)
+//     --surge S           mean time between background-traffic surge
+//                         episodes on a rack's uplinks (default off)
+//     --surge-duration S  surge episode length (default 120)
+//     --surge-util X      extra utilization a surge adds (default 0.5)
+//     --net-repair-jitter X  relative jitter on link/switch repairs
+//     --stall-timeout S   kill + retry transfers stalled at rate 0 for S
+//                         seconds, with capped exponential backoff
+//                         (default 0 = off)
+//
 //   Overload control plane:
 //     --admission NAME    always-admit|static-threshold|token-bucket|
 //                         adaptive (default always-admit = no-op)
@@ -126,7 +141,11 @@ using namespace mrs;
       "                 [--placement hdfs|random|skewed]\n"
       "                 [--distance hops|inverse-rate|weighted|load-aware]\n"
       "                 [--straggler-p X] [--speculation] [--mtbf SECONDS]\n"
-      "                 [--repair-jitter X] [--admission NAME]\n"
+      "                 [--repair-jitter X] [--link-mtbf S] [--link-repair S]\n"
+      "                 [--switch-mtbf S] [--switch-repair S] [--surge S]\n"
+      "                 [--surge-duration S] [--surge-util X]\n"
+      "                 [--net-repair-jitter X] [--stall-timeout S]\n"
+      "                 [--admission NAME]\n"
       "                 [--admission-threshold L] [--admission-delay S]\n"
       "                 [--admission-rate JOBS/H] [--max-deferrals N]\n"
       "                 [--max-attempts N] [--blacklist]\n"
@@ -343,6 +362,22 @@ void print_class_summary(const driver::ExperimentResult& result) {
   }
 }
 
+/// One line of network-chaos counters (only when chaos or the stall
+/// watchdog was on): what the injector did and how the engine degraded.
+/// CI smokes grep the key=value pairs.
+void print_chaos_summary(const driver::ExperimentResult& result,
+                         const driver::ExperimentConfig& cfg) {
+  if (!cfg.net_faults.enabled() && cfg.engine.stall_timeout <= 0.0) return;
+  const auto c = [&](const char* name) {
+    return static_cast<unsigned long long>(result.telemetry.counter(name));
+  };
+  std::printf("  chaos     links_cut=%llu switch_events=%llu "
+              "surge_episodes=%llu stall_timeouts=%llu retries=%llu\n",
+              c("net.fault.links_cut"), c("net.fault.switch_events"),
+              c("net.surge.episodes"), c("engine.transfer.stall_timeouts"),
+              c("engine.transfer.retries"));
+}
+
 /// Per-run critical-path blame aggregate (printed only when --trace-out
 /// enabled the causal tracer). Shares are fractions of total response
 /// time; "dom" counts jobs whose largest bucket is that one.
@@ -393,6 +428,10 @@ int main(int argc, char** argv) {
   std::size_t max_deferrals = 4, max_attempts = 0, blacklist_failures = 2;
   std::uint64_t seed = 42;
   double pmin = 0.4, straggler_p = 0.0, mtbf = 0.0, repair_jitter = 0.0;
+  double link_mtbf = 0.0, link_repair = 60.0;
+  double switch_mtbf = 0.0, switch_repair = 120.0;
+  double surge_mtbf = 0.0, surge_duration = 120.0, surge_util = 0.5;
+  double net_repair_jitter = 0.0, stall_timeout = 0.0;
   double rate = 60.0, duration = 3600.0, warmup = -1.0, job_scale = 1.0;
   double sample_period = -1.0;
   double admission_threshold = 12.0, admission_delay = 0.0;
@@ -425,6 +464,17 @@ int main(int argc, char** argv) {
     else if (arg == "--speculation") speculation = true;
     else if (arg == "--mtbf") mtbf = std::stod(next());
     else if (arg == "--repair-jitter") repair_jitter = std::stod(next());
+    else if (arg == "--link-mtbf") link_mtbf = std::stod(next());
+    else if (arg == "--link-repair") link_repair = std::stod(next());
+    else if (arg == "--switch-mtbf") switch_mtbf = std::stod(next());
+    else if (arg == "--switch-repair") switch_repair = std::stod(next());
+    else if (arg == "--surge") surge_mtbf = std::stod(next());
+    else if (arg == "--surge-duration") surge_duration = std::stod(next());
+    else if (arg == "--surge-util") surge_util = std::stod(next());
+    else if (arg == "--net-repair-jitter") {
+      net_repair_jitter = std::stod(next());
+    }
+    else if (arg == "--stall-timeout") stall_timeout = std::stod(next());
     else if (arg == "--admission") admission = next();
     else if (arg == "--admission-threshold") {
       admission_threshold = std::stod(next());
@@ -512,6 +562,15 @@ int main(int argc, char** argv) {
   cfg.engine.fault.speculative_execution = speculation;
   cfg.failures.cluster_mtbf = mtbf;
   cfg.failures.repair_jitter = repair_jitter;
+  cfg.net_faults.link_mtbf = link_mtbf;
+  cfg.net_faults.link_repair_time = link_repair;
+  cfg.net_faults.switch_mtbf = switch_mtbf;
+  cfg.net_faults.switch_repair_time = switch_repair;
+  cfg.net_faults.surge_mtbf = surge_mtbf;
+  cfg.net_faults.surge_duration = surge_duration;
+  cfg.net_faults.surge_utilization = surge_util;
+  cfg.net_faults.repair_jitter = net_repair_jitter;
+  cfg.engine.stall_timeout = stall_timeout;
   cfg.admission.policy = parse_admission(admission);
   cfg.admission.max_jobs_in_system = admission_threshold;
   cfg.admission.max_queueing_delay = admission_delay;
@@ -723,6 +782,7 @@ int main(int argc, char** argv) {
       }
     }
     print_class_summary(stream.run);
+    print_chaos_summary(stream.run, scfg.base);
     print_critical_path_summary(stream.run);
     if (!out_dir.empty()) {
       driver::save_result(out_dir, "stream", stream.run);
@@ -768,6 +828,7 @@ int main(int argc, char** argv) {
               loc.node_local_pct,
               100.0 * result.utilization.map_utilization());
   print_class_summary(result);
+  print_chaos_summary(result, cfg);
   print_critical_path_summary(result);
 
   if (!quiet) {
