@@ -1,6 +1,8 @@
 #include "mrs/driver/experiment.hpp"
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "mrs/common/log.hpp"
@@ -64,10 +66,20 @@ std::unique_ptr<mapreduce::TaskScheduler> make_scheduler(
   return nullptr;
 }
 
-}  // namespace
-
-ExperimentResult run_experiment(const ExperimentConfig& cfg) {
-  MRS_REQUIRE(!cfg.jobs.empty());
+/// Shared core of the batch and streaming runners. With `source == nullptr`
+/// every job comes pre-materialised from cfg.jobs (the batch path);
+/// otherwise arrivals are pulled from `source` one at a time and submitted
+/// `lookahead` sim-seconds ahead of their arrival times.
+ExperimentResult run_experiment_impl(const ExperimentConfig& cfg,
+                                     workload::ArrivalSource* source,
+                                     Seconds lookahead) {
+  const bool streaming = source != nullptr;
+  if (streaming) {
+    MRS_REQUIRE(cfg.jobs.empty() && cfg.submit_times.empty());
+    MRS_REQUIRE(lookahead > 0.0);
+  } else {
+    MRS_REQUIRE(!cfg.jobs.empty());
+  }
   const Rng root(cfg.seed);
 
   // Substrates. Note: every workload-shaping stream is split from the root
@@ -97,7 +109,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   dfs::BlockStore store(topo.host_count());
   dfs::BlockPlacer placer(&topo, root.split("placement"));
   std::vector<mapreduce::JobSpec> specs =
-      workload::make_batch(cfg.jobs, store, placer, cfg.workload);
+      streaming ? std::vector<mapreduce::JobSpec>{}
+                : workload::make_batch(cfg.jobs, store, placer, cfg.workload);
   if (!cfg.submit_times.empty()) {
     MRS_REQUIRE(cfg.submit_times.size() == specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -155,6 +168,39 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   std::size_t job_index = 0;
   for (const auto& spec : specs) {
     engine.submit(spec, root.split("job" + std::to_string(job_index++)));
+  }
+
+  // Streaming pump: holds exactly one pending arrival; submits every
+  // arrival within `lookahead` of the clock, then re-arms itself at
+  // (next arrival - lookahead). Arrivals materialise into JobSpecs in
+  // yield order, so placer/engine RNG draws match the batch path draw for
+  // draw — the byte-identity contract of run_experiment_streamed. The
+  // initial window is submitted below, before engine.start(), so those
+  // activations are scheduled ahead of the heartbeat arms exactly as in
+  // the batch path.
+  std::optional<workload::Arrival> pending;
+  std::function<void()> pump = [&] {
+    const Seconds now = simulation.now();
+    while (pending && pending->time <= now + lookahead) {
+      mapreduce::JobSpec spec = workload::make_job_spec(
+          pending->job, workload::profile_for(pending->job.kind), store,
+          placer, cfg.workload, pending->time);
+      if (cfg.emit_nonlinearity_override) {
+        spec.emit_nonlinearity = *cfg.emit_nonlinearity_override;
+      }
+      engine.submit(std::move(spec),
+                    root.split("job" + std::to_string(job_index++)));
+      pending = source->next();
+    }
+    if (!pending) {
+      engine.close_stream();
+      return;
+    }
+    simulation.schedule_at(std::max(now, pending->time - lookahead), pump);
+  };
+  if (streaming) {
+    engine.open_stream();
+    pending = source->next();
   }
 
   auto scheduler = make_scheduler(cfg, root.split("scheduler"));
@@ -291,6 +337,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     sampler->start();
   }
 
+  if (streaming) pump();  // submit the initial lookahead window
   engine.start();
   failures.start();
   net_faults.start();
@@ -376,6 +423,18 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
                                   result.samples, result.decisions);
   }
   return result;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  return run_experiment_impl(cfg, nullptr, 0.0);
+}
+
+ExperimentResult run_experiment_streamed(const ExperimentConfig& cfg,
+                                         workload::ArrivalSource& source,
+                                         Seconds lookahead) {
+  return run_experiment_impl(cfg, &source, lookahead);
 }
 
 std::vector<ExperimentResult> run_experiments(

@@ -33,6 +33,7 @@
 #include "mrs/trace/critical_path.hpp"
 #include "mrs/trace/decision.hpp"
 #include "mrs/trace/span.hpp"
+#include "mrs/workload/arrivals.hpp"
 #include "mrs/workload/table2.hpp"
 
 namespace mrs::driver {
@@ -227,6 +228,22 @@ struct ExperimentResult {
 
 /// Run one experiment synchronously.
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Run one experiment with arrivals pulled incrementally from `source`
+/// instead of pre-materialised config.jobs (which must be empty). Each
+/// arrival is materialised into a JobSpec and submitted `lookahead`
+/// sim-seconds before its arrival time, so only one pending arrival is
+/// buffered at any moment — million-job traces never sit in memory.
+///
+/// Byte-identity contract: for a source yielding exactly the arrivals the
+/// buffered path would place in config.jobs/submit_times, the result is
+/// byte-identical to run_experiment (the equivalence tests pin this), as
+/// long as arrival times don't collide with unrelated simulation events
+/// scheduled more than `lookahead` ahead — generated continuous-time
+/// arrivals never do.
+[[nodiscard]] ExperimentResult run_experiment_streamed(
+    const ExperimentConfig& config, workload::ArrivalSource& source,
+    Seconds lookahead = 30.0);
 
 /// Run several independent experiments concurrently (one thread each,
 /// capped at the hardware concurrency). Results are in input order.

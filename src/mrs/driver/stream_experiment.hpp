@@ -28,13 +28,22 @@ struct StreamConfig {
   /// cluster) but are excluded from the steady-state window. Must be
   /// < arrivals.duration.
   Seconds warmup = 0.0;
+  /// kTrace only: stream the trace file through TraceStreamReader and
+  /// run_experiment_streamed instead of buffering every arrival — the
+  /// memory-bounded path for production-scale traces. The trace must be
+  /// time-sorted on disk. StreamResult::arrivals stays empty.
+  bool stream_trace = false;
+  /// How far ahead of the clock streamed arrivals are submitted (see
+  /// run_experiment_streamed).
+  Seconds stream_lookahead = 30.0;
 };
 
 struct StreamResult {
   /// The underlying run over the whole stream (warmup + measurement +
   /// drain). `run.completed` == the backlog drained within max_sim_time.
   ExperimentResult run;
-  /// The pre-drawn arrival sequence actually submitted.
+  /// The pre-drawn arrival sequence actually submitted (empty when the
+  /// arrivals were streamed rather than buffered).
   std::vector<workload::Arrival> arrivals;
   /// Steady-state metrics over [warmup, arrivals.duration).
   metrics::SteadyStateSummary steady;
@@ -46,7 +55,16 @@ struct StreamResult {
 [[nodiscard]] std::vector<workload::Arrival> stream_arrivals(
     const StreamConfig& cfg);
 
-/// Run one open-loop experiment synchronously.
+/// Run one open-loop experiment synchronously. With cfg.stream_trace the
+/// arrivals are pulled incrementally from the trace file; otherwise they
+/// are pre-drawn and buffered.
 [[nodiscard]] StreamResult run_stream_experiment(const StreamConfig& cfg);
+
+/// Run one open-loop experiment over an arbitrary arrival source
+/// (generator, trace reader, ...), streamed incrementally. The steady
+/// window is [cfg.warmup, cfg.arrivals.duration) as usual; the source
+/// must not yield arrivals at or after cfg.arrivals.duration.
+[[nodiscard]] StreamResult run_stream_experiment(
+    const StreamConfig& cfg, workload::ArrivalSource& source);
 
 }  // namespace mrs::driver

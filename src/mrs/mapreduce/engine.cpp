@@ -105,7 +105,9 @@ Engine::ClassMetrics* Engine::class_metrics_for(NodeId node) {
 }
 
 JobRun& Engine::submit(JobSpec spec, Rng rng) {
-  MRS_REQUIRE(!started_);
+  MRS_REQUIRE(!started_ || stream_open_);
+  const bool live = started_;  // arrived mid-run via an open stream
+  if (live) MRS_REQUIRE(spec.submit_time >= simulation_->now());
   // A non-positive weight would make the kWeightedFair deficit inf/NaN and
   // the comparator an invalid strict weak ordering (UB in stable_sort).
   MRS_REQUIRE(spec.weight > 0.0);
@@ -146,13 +148,31 @@ JobRun& Engine::submit(JobSpec spec, Rng rng) {
   if (first_submit_ < 0.0 || job.submit_time < first_submit_) {
     first_submit_ = job.submit_time;
   }
+  if (live) {
+    // start() already ran, so schedule this job's own activation (the
+    // batch path schedules all of them inside start()).
+    JobRun* j = &job;
+    simulation_->schedule_at(j->submit_time,
+                             [this, j] { try_admit(*j, /*attempt=*/0); });
+  }
   return job;
+}
+
+void Engine::open_stream() {
+  MRS_REQUIRE(!started_);
+  stream_open_ = true;
+}
+
+void Engine::close_stream() {
+  if (!stream_open_) return;
+  stream_open_ = false;
+  if (started_ && all_jobs_complete()) heartbeats_.stop();
 }
 
 void Engine::start() {
   MRS_REQUIRE(!started_);
   MRS_REQUIRE(scheduler_ != nullptr);
-  MRS_REQUIRE(!jobs_.empty());
+  MRS_REQUIRE(!jobs_.empty() || stream_open_);
   started_ = true;
   util_last_change_ = simulation_->now();
   for (const auto& job : jobs_) {

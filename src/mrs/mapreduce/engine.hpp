@@ -138,16 +138,31 @@ class Engine {
   }
 
   /// Queue a job; it activates at spec.submit_time. `rng` draws the job's
-  /// intermediate-data ground truth.
+  /// intermediate-data ground truth. Normally jobs are submitted before
+  /// start(); while a stream is open (open_stream) jobs may also arrive
+  /// after start(), with submit_time >= now.
   JobRun& submit(JobSpec spec, Rng rng);
 
   /// Arm heartbeats and job activations; then drive `simulation->run()`.
   void start();
 
+  /// Declare that more jobs will be submitted after start() (streaming
+  /// replay). While the stream is open all_jobs_complete() stays false,
+  /// so a momentary backlog drain between arrivals never stops the
+  /// heartbeat service mid-run. Call before start().
+  void open_stream();
+
+  /// End of the arrival stream: no further submits. If everything already
+  /// finished, stops heartbeats exactly as the last completion would.
+  void close_stream();
+
+  [[nodiscard]] bool stream_open() const { return stream_open_; }
+
   /// True once every submitted job has been resolved: completed, rejected
-  /// at admission, or aborted.
+  /// at admission, or aborted — and no stream can submit more.
   [[nodiscard]] bool all_jobs_complete() const {
-    return jobs_completed_ + jobs_rejected_ + jobs_aborted_ == jobs_.size();
+    return !stream_open_ &&
+           jobs_completed_ + jobs_rejected_ + jobs_aborted_ == jobs_.size();
   }
 
   [[nodiscard]] std::size_t jobs_submitted() const { return jobs_.size(); }
@@ -366,6 +381,7 @@ class Engine {
   std::size_t jobs_rejected_ = 0;
   std::size_t jobs_aborted_ = 0;
   bool started_ = false;
+  bool stream_open_ = false;
 
   std::vector<TaskRecord> task_records_;
   std::vector<JobRecord> job_records_;

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 #include "mrs/common/check.hpp"
+#include "mrs/common/csv.hpp"
 #include "mrs/common/strfmt.hpp"
 
 namespace mrs::workload {
@@ -40,9 +40,9 @@ JobDescription shape_job(const JobDescription& base, const JobMixConfig& mix,
   return d;
 }
 
-/// Draw one job from the catalog mix. The kind is drawn by weight, the
-/// size rank within the kind's batch by Zipf (rank 0 = smallest input).
-JobDescription draw_job(const JobMixConfig& mix, Rng& rng) {
+}  // namespace
+
+JobDescription draw_mix_job(const JobMixConfig& mix, Rng& rng) {
   const double ww = std::max(0.0, mix.wordcount_weight);
   const double tw = std::max(0.0, mix.terasort_weight);
   const double gw = std::max(0.0, mix.grep_weight);
@@ -64,6 +64,8 @@ JobDescription draw_job(const JobMixConfig& mix, Rng& rng) {
   }
   return shape_job(batch[rank], mix, multiplier);
 }
+
+namespace {
 
 /// Homogeneous Poisson arrival times on [0, duration).
 std::vector<Seconds> poisson_times(double rate_per_hour, Seconds duration,
@@ -123,7 +125,7 @@ std::vector<Arrival> generate_tenant_arrivals(const ArrivalConfig& cfg,
     for (const Seconds time : times) {
       Arrival a;
       a.time = time;
-      a.job = draw_job(t.mix, mix_rng);
+      a.job = draw_mix_job(t.mix, mix_rng);
       a.job.tenant = TenantId(i);
       a.job.weight = t.weight;
       a.job.name += strf("@t%zu", i);
@@ -141,6 +143,151 @@ std::vector<Arrival> generate_tenant_arrivals(const ArrivalConfig& cfg,
   return arrivals;
 }
 
+[[noreturn]] void trace_error(const std::string& path, std::size_t line,
+                              const std::string& what) {
+  throw std::runtime_error(strf("load_arrival_trace: %s:%zu: %s",
+                                path.c_str(), line, what.c_str()));
+}
+
+double parse_trace_double(const std::string& field, const std::string& path,
+                          std::size_t line, const char* column) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(field, &pos);
+  } catch (const std::exception&) {
+    trace_error(path, line,
+                strf("bad numeric value '%s' for %s", field.c_str(), column));
+  }
+  if (pos != field.size()) {
+    trace_error(path, line,
+                strf("bad numeric value '%s' for %s", field.c_str(), column));
+  }
+  return value;
+}
+
+std::size_t parse_trace_count(const std::string& field,
+                              const std::string& path, std::size_t line,
+                              const char* column) {
+  std::size_t pos = 0;
+  unsigned long value = 0;
+  try {
+    value = std::stoul(field, &pos);
+  } catch (const std::exception&) {
+    trace_error(path, line,
+                strf("bad integer value '%s' for %s", field.c_str(), column));
+  }
+  if (pos != field.size() || field[0] == '-') {
+    trace_error(path, line,
+                strf("bad integer value '%s' for %s", field.c_str(), column));
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// Shared record-level trace parser: turns the CSV stream into Arrivals
+/// one row at a time (used by both the buffered loader and the streaming
+/// reader). Tracks physical line numbers — a quoted field may span lines,
+/// so the count advances by 1 + embedded newlines per record — skips
+/// comment ('#') and blank records, and treats the first remaining record
+/// as the header. Accepts the canonical 8-column layout plus the legacy
+/// 5- and 7-column ones.
+class TraceRowCursor {
+ public:
+  TraceRowCursor(std::istream& in, std::string path)
+      : reader_(in), path_(std::move(path)) {}
+
+  /// Parses the next data row into `out` (job_id left unassigned).
+  /// Returns false at end of input. `out_line` receives the row's
+  /// starting physical line (for caller-side error reporting).
+  bool next(Arrival& out, std::size_t* out_line = nullptr) {
+    std::vector<std::string>& f = fields_;
+    while (reader_.row(f)) {
+      const std::size_t line = next_line_;
+      for (const std::string& field : f) {
+        next_line_ +=
+            static_cast<std::size_t>(std::count(field.begin(), field.end(),
+                                                '\n'));
+      }
+      ++next_line_;
+      if (f.size() == 1 && f[0].empty()) continue;  // blank line
+      if (!f[0].empty() && f[0][0] == '#') continue;  // comment
+      if (!header_skipped_) {
+        header_skipped_ = true;
+        continue;
+      }
+      parse_row(f, line, out);
+      if (out_line != nullptr) *out_line = line;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  void parse_row(const std::vector<std::string>& f, std::size_t line,
+                 Arrival& out) const {
+    // Column layouts: 8 = time,name,kind,gb,maps,reduces,tenant,weight;
+    // legacy 7 omits gb; legacy 5 additionally omits tenant,weight.
+    if (f.size() != 5 && f.size() != 7 && f.size() != 8) {
+      trace_error(path_, line,
+                  "expected time,name,kind,gb,maps,reduces,tenant,weight "
+                  "(or legacy 5/7-column time,name,kind,maps,reduces"
+                  "[,tenant,weight])");
+    }
+    const bool has_gb = f.size() == 8;
+    Arrival a;
+    a.time = parse_trace_double(f[0], path_, line, "time");
+    a.job.name = f[1];
+    if (f[2] == "Wordcount") a.job.kind = JobKind::kWordcount;
+    else if (f[2] == "Terasort") a.job.kind = JobKind::kTerasort;
+    else if (f[2] == "Grep") a.job.kind = JobKind::kGrep;
+    else if (f[2] == "Custom") a.job.kind = JobKind::kCustom;
+    else trace_error(path_, line, strf("unknown kind '%s'", f[2].c_str()));
+    std::size_t col = 3;
+    if (has_gb) {
+      a.job.nominal_gb = parse_trace_double(f[col++], path_, line, "gb");
+      if (a.job.nominal_gb < 0.0) {
+        trace_error(path_, line, "gb must be >= 0");
+      }
+    }
+    a.job.map_count = parse_trace_count(f[col++], path_, line, "maps");
+    a.job.reduce_count = parse_trace_count(f[col++], path_, line, "reduces");
+    if (a.time < 0.0 || a.job.map_count == 0 || a.job.reduce_count == 0) {
+      trace_error(path_, line, "time must be >= 0 and counts positive");
+    }
+    if (f.size() >= 7) {
+      a.job.tenant =
+          TenantId(parse_trace_count(f[col++], path_, line, "tenant"));
+      a.job.weight = parse_trace_double(f[col++], path_, line, "weight");
+      if (!(a.job.weight > 0.0)) {
+        trace_error(path_, line, "weight must be > 0");
+      }
+    }
+    out = std::move(a);
+  }
+
+  CsvReader reader_;
+  std::string path_;
+  std::vector<std::string> fields_;
+  std::size_t next_line_ = 1;
+  bool header_skipped_ = false;
+};
+
+std::vector<std::string> trace_row_fields(const Arrival& a) {
+  return {strf("%.17g", a.time),
+          a.job.name,
+          mapreduce::to_string(a.job.kind),
+          strf("%.17g", a.job.nominal_gb),
+          strf("%zu", a.job.map_count),
+          strf("%zu", a.job.reduce_count),
+          strf("%zu", a.job.tenant.value()),
+          strf("%.17g", a.job.weight)};
+}
+
+std::vector<std::string> trace_header() {
+  return {"time", "name", "kind", "gb", "maps", "reduces", "tenant",
+          "weight"};
+}
+
 }  // namespace
 
 std::vector<Arrival> generate_arrivals(const ArrivalConfig& cfg,
@@ -151,6 +298,11 @@ std::vector<Arrival> generate_arrivals(const ArrivalConfig& cfg,
     std::vector<Arrival> arrivals = load_arrival_trace(cfg.trace_path);
     std::erase_if(arrivals,
                   [&](const Arrival& a) { return a.time >= cfg.duration; });
+    // The horizon cut may drop rows anywhere in id order (the trace need
+    // not be time-sorted on disk) — renumber so ids stay contiguous.
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      arrivals[i].job.job_id = strf("%zu", i + 1);
+    }
     return arrivals;
   }
 
@@ -169,7 +321,7 @@ std::vector<Arrival> generate_arrivals(const ArrivalConfig& cfg,
   for (std::size_t i = 0; i < times.size(); ++i) {
     Arrival a;
     a.time = times[i];
-    a.job = draw_job(cfg.mix, mix_rng);
+    a.job = draw_mix_job(cfg.mix, mix_rng);
     a.job.job_id = strf("%zu", i + 1);
     a.job.name += strf("#%04zu", i + 1);  // unique, pairable across runs
     arrivals.push_back(std::move(a));
@@ -182,62 +334,13 @@ std::vector<Arrival> load_arrival_trace(const std::string& path) {
   if (!in) {
     throw std::runtime_error("load_arrival_trace: cannot open " + path);
   }
+  TraceRowCursor cursor(in, path);
   std::vector<Arrival> arrivals;
-  std::string line;
-  bool header_skipped = false;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty() || line[0] == '#') continue;
-    if (!header_skipped) {
-      header_skipped = true;  // first non-comment line is the header
-      continue;
-    }
-    std::vector<std::string> fields;
-    std::string field;
-    std::istringstream ss(line);
-    while (std::getline(ss, field, ',')) fields.push_back(field);
-    if (fields.size() != 5 && fields.size() != 7) {
-      throw std::runtime_error(
-          strf("load_arrival_trace: %s:%zu: expected "
-               "time,name,kind,maps,reduces[,tenant,weight]",
-               path.c_str(), line_no));
-    }
-    Arrival a;
-    a.time = std::stod(fields[0]);
-    a.job.name = fields[1];
-    if (fields[2] == "Wordcount") a.job.kind = JobKind::kWordcount;
-    else if (fields[2] == "Terasort") a.job.kind = JobKind::kTerasort;
-    else if (fields[2] == "Grep") a.job.kind = JobKind::kGrep;
-    else if (fields[2] == "Custom") a.job.kind = JobKind::kCustom;
-    else {
-      throw std::runtime_error(strf("load_arrival_trace: %s:%zu: unknown "
-                                    "kind '%s'",
-                                    path.c_str(), line_no,
-                                    fields[2].c_str()));
-    }
-    a.job.map_count = std::stoul(fields[3]);
-    a.job.reduce_count = std::stoul(fields[4]);
-    if (a.time < 0.0 || a.job.map_count == 0 || a.job.reduce_count == 0) {
-      throw std::runtime_error(strf("load_arrival_trace: %s:%zu: time must "
-                                    "be >= 0 and counts positive",
-                                    path.c_str(), line_no));
-    }
-    if (fields.size() == 7) {
-      a.job.tenant = TenantId(std::stoul(fields[5]));
-      a.job.weight = std::stod(fields[6]);
-      if (!(a.job.weight > 0.0)) {
-        throw std::runtime_error(strf("load_arrival_trace: %s:%zu: weight "
-                                      "must be > 0",
-                                      path.c_str(), line_no));
-      }
-    }
-    arrivals.push_back(std::move(a));
-  }
+  Arrival a;
+  while (cursor.next(a)) arrivals.push_back(std::move(a));
   std::stable_sort(arrivals.begin(), arrivals.end(),
-                   [](const Arrival& a, const Arrival& b) {
-                     return a.time < b.time;
+                   [](const Arrival& x, const Arrival& y) {
+                     return x.time < y.time;
                    });
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     arrivals[i].job.job_id = strf("%zu", i + 1);
@@ -247,20 +350,67 @@ std::vector<Arrival> load_arrival_trace(const std::string& path) {
 
 void save_arrival_trace(const std::string& path,
                         std::span<const Arrival> arrivals) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("save_arrival_trace: cannot open " + path);
+  CsvWriter out(path, trace_header());
+  for (const Arrival& a : arrivals) out.row(trace_row_fields(a));
+}
+
+struct TraceStreamReader::Impl {
+  Impl(const std::string& p, Seconds h)
+      : in(p), path(p), horizon(h), cursor(in, p) {
+    if (!in) {
+      throw std::runtime_error("TraceStreamReader: cannot open " + p);
+    }
   }
-  out << "time,name,kind,maps,reduces,tenant,weight\n";
-  for (const Arrival& a : arrivals) {
-    out << strf("%.17g,%s,%s,%zu,%zu,%zu,%.17g\n", a.time,
-                a.job.name.c_str(), mapreduce::to_string(a.job.kind),
-                a.job.map_count, a.job.reduce_count, a.job.tenant.value(),
-                a.job.weight);
+
+  std::ifstream in;
+  std::string path;
+  Seconds horizon;
+  TraceRowCursor cursor;
+  Seconds last_time = 0.0;
+  std::size_t yielded = 0;
+  bool done = false;
+};
+
+TraceStreamReader::TraceStreamReader(const std::string& path, Seconds horizon)
+    : impl_(std::make_unique<Impl>(path, horizon)) {}
+
+TraceStreamReader::~TraceStreamReader() = default;
+
+std::optional<Arrival> TraceStreamReader::next() {
+  Impl& s = *impl_;
+  if (s.done) return std::nullopt;
+  Arrival a;
+  std::size_t line = 0;
+  if (!s.cursor.next(a, &line)) {
+    s.done = true;
+    return std::nullopt;
   }
-  if (!out) {
-    throw std::runtime_error("save_arrival_trace: write failed for " + path);
+  if (a.time < s.last_time) {
+    trace_error(s.path, line,
+                strf("trace not sorted by time (%.17g after %.17g); "
+                     "streaming replay requires a time-sorted trace",
+                     a.time, s.last_time));
   }
+  if (a.time >= s.horizon) {
+    s.done = true;  // sorted input: every later row is beyond the horizon
+    return std::nullopt;
+  }
+  s.last_time = a.time;
+  a.job.job_id = strf("%zu", ++s.yielded);
+  return a;
+}
+
+std::size_t TraceStreamReader::rows_yielded() const {
+  return impl_->yielded;
+}
+
+std::size_t write_arrival_trace(const std::string& path,
+                                ArrivalSource& source) {
+  CsvWriter out(path, trace_header());
+  while (std::optional<Arrival> a = source.next()) {
+    out.row(trace_row_fields(*a));
+  }
+  return out.rows_written();
 }
 
 }  // namespace mrs::workload

@@ -13,6 +13,9 @@
 // pairing contract to the streaming regime.
 #pragma once
 
+#include <limits>
+#include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -26,7 +29,7 @@ namespace mrs::workload {
 enum class ArrivalProcess {
   kPoisson,  ///< homogeneous Poisson arrivals at `rate_per_hour`
   kMmpp,     ///< 2-state Markov-modulated Poisson (calm/burst) arrivals
-  kTrace,    ///< replay a CSV trace (time,name,kind,maps,reduces)
+  kTrace,    ///< replay a CSV trace (time,name,kind,gb,maps,reduces,...)
 };
 
 [[nodiscard]] constexpr const char* to_string(ArrivalProcess p) {
@@ -108,24 +111,91 @@ struct Arrival {
 
 [[nodiscard]] bool operator==(const Arrival& a, const Arrival& b);
 
+/// Draw one job from the catalog mix (kind by weight, size rank by Zipf,
+/// mean-1 lognormal size jitter). Exposed so trace generators can share
+/// the exact sampler the synthetic processes use.
+[[nodiscard]] JobDescription draw_mix_job(const JobMixConfig& mix, Rng& rng);
+
 /// Draw the full arrival sequence for `cfg` from `rng`. Arrivals are
 /// sorted by time; job names are suffixed "#<seq>" so every arrival is
 /// uniquely identifiable (and pairable across schedulers). For kTrace the
-/// file is loaded and entries beyond cfg.duration are dropped.
+/// file is loaded, entries beyond cfg.duration are dropped, and job ids
+/// are renumbered so they stay contiguous after the cut.
 [[nodiscard]] std::vector<Arrival> generate_arrivals(const ArrivalConfig& cfg,
                                                      const Rng& rng);
 
 /// Load an arrival trace CSV with a header row of
-///   time,name,kind,maps,reduces[,tenant,weight]
-/// (kind is Wordcount | Terasort | Grep | Custom; the optional tenant /
-/// weight pair defaults to 0 / 1.0). Lines starting with '#' and blank
-/// lines are skipped; rows are sorted by time on load. Throws
-/// std::runtime_error on unreadable files or malformed rows.
+///   time,name,kind,gb,maps,reduces,tenant,weight
+/// (kind is Wordcount | Terasort | Grep | Custom). Legacy 5-column
+/// (time,name,kind,maps,reduces) and 7-column (...,tenant,weight) files
+/// still load, with gb defaulting to 0, tenant to 0 and weight to 1.
+/// Fields follow RFC-4180 quoting (commas, quotes and newlines in names
+/// survive). Lines starting with '#' and blank lines are skipped; rows
+/// are sorted by time on load and job ids assigned contiguously from 1.
+/// Throws std::runtime_error with a path:line prefix on malformed rows.
 [[nodiscard]] std::vector<Arrival> load_arrival_trace(
     const std::string& path);
 
-/// Write `arrivals` in the load_arrival_trace format (round-trips).
+/// Write `arrivals` in the canonical 8-column load_arrival_trace format
+/// (round-trips exactly, including nominal_gb, tenant and weight).
 void save_arrival_trace(const std::string& path,
                         std::span<const Arrival> arrivals);
+
+/// Pull-based arrival iterator: the streaming driver consumes arrivals one
+/// at a time, so million-job traces never sit fully in memory. Sources
+/// must yield arrivals in non-decreasing time order with contiguous job
+/// ids from 1 (in yield order).
+class ArrivalSource {
+ public:
+  virtual ~ArrivalSource() = default;
+  /// Next arrival, or nullopt once the stream is exhausted. Must not be
+  /// called again after returning nullopt.
+  [[nodiscard]] virtual std::optional<Arrival> next() = 0;
+};
+
+/// Adapter exposing a pre-drawn arrival vector as an ArrivalSource.
+class BufferedArrivalSource final : public ArrivalSource {
+ public:
+  explicit BufferedArrivalSource(std::vector<Arrival> arrivals)
+      : arrivals_(std::move(arrivals)) {}
+  [[nodiscard]] std::optional<Arrival> next() override {
+    if (pos_ >= arrivals_.size()) return std::nullopt;
+    return arrivals_[pos_++];
+  }
+
+ private:
+  std::vector<Arrival> arrivals_;
+  std::size_t pos_ = 0;
+};
+
+/// Streaming trace reader: parses one CSV record per next() call, holding
+/// O(1) trace state (one record) regardless of trace length. Accepts the
+/// same formats as load_arrival_trace but requires the file to already be
+/// sorted by time (throws on out-of-order rows — a streaming reader cannot
+/// sort). Rows at or after `horizon` end the stream. Job ids are assigned
+/// contiguously from 1 in row order, matching what load_arrival_trace
+/// produces on a sorted file.
+class TraceStreamReader final : public ArrivalSource {
+ public:
+  explicit TraceStreamReader(
+      const std::string& path,
+      Seconds horizon = std::numeric_limits<double>::infinity());
+  ~TraceStreamReader() override;
+  TraceStreamReader(const TraceStreamReader&) = delete;
+  TraceStreamReader& operator=(const TraceStreamReader&) = delete;
+
+  [[nodiscard]] std::optional<Arrival> next() override;
+  /// Number of arrivals yielded so far (== last job id handed out).
+  [[nodiscard]] std::size_t rows_yielded() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Drain `source` to a trace CSV in the canonical 8-column format,
+/// holding one record in memory at a time. Returns the row count.
+std::size_t write_arrival_trace(const std::string& path,
+                                ArrivalSource& source);
 
 }  // namespace mrs::workload

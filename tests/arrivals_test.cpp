@@ -182,6 +182,7 @@ TEST(Arrivals, TraceRoundTripsThroughCsv) {
     EXPECT_DOUBLE_EQ(loaded[i].time, generated[i].time);
     EXPECT_EQ(loaded[i].job.name, generated[i].job.name);
     EXPECT_EQ(loaded[i].job.kind, generated[i].job.kind);
+    EXPECT_DOUBLE_EQ(loaded[i].job.nominal_gb, generated[i].job.nominal_gb);
     EXPECT_EQ(loaded[i].job.map_count, generated[i].job.map_count);
     EXPECT_EQ(loaded[i].job.reduce_count, generated[i].job.reduce_count);
   }
@@ -307,6 +308,7 @@ TEST(Arrivals, MultiTenantTraceRoundTripPreservesTenantAndWeight) {
   for (std::size_t i = 0; i < loaded.size(); ++i) {
     EXPECT_DOUBLE_EQ(loaded[i].time, generated[i].time);
     EXPECT_EQ(loaded[i].job.name, generated[i].job.name);
+    EXPECT_DOUBLE_EQ(loaded[i].job.nominal_gb, generated[i].job.nominal_gb);
     EXPECT_EQ(loaded[i].job.tenant, generated[i].job.tenant);
     EXPECT_DOUBLE_EQ(loaded[i].job.weight, generated[i].job.weight);
   }
@@ -330,6 +332,129 @@ TEST(Arrivals, MultiTenantRejectsInvalidTenantConfig) {
   ArrivalConfig bad_process = two_tenant_config();
   bad_process.tenants[0].process = ArrivalProcess::kTrace;
   EXPECT_DEATH((void)generate_arrivals(bad_process, Rng(1)), "");
+}
+
+TEST(Arrivals, LegacyFiveColumnTraceLoadsWithDefaults) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pnats_arrivals_l5.csv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "time,name,kind,maps,reduces\n";
+    out << "1.5,old_job,Wordcount,8,4\n";
+  }
+  const auto loaded = load_arrival_trace(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded[0].time, 1.5);
+  EXPECT_EQ(loaded[0].job.name, "old_job");
+  EXPECT_DOUBLE_EQ(loaded[0].job.nominal_gb, 0.0);
+  EXPECT_EQ(loaded[0].job.map_count, 8u);
+  EXPECT_EQ(loaded[0].job.reduce_count, 4u);
+  EXPECT_EQ(loaded[0].job.tenant, TenantId(0));
+  EXPECT_DOUBLE_EQ(loaded[0].job.weight, 1.0);
+  std::filesystem::remove(path);
+}
+
+TEST(Arrivals, LegacySevenColumnTraceLoadsTenantAndWeight) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pnats_arrivals_l7.csv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "time,name,kind,maps,reduces,tenant,weight\n";
+    out << "2.25,old_mt,Grep,6,3,4,2.5\n";
+  }
+  const auto loaded = load_arrival_trace(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded[0].job.nominal_gb, 0.0);
+  EXPECT_EQ(loaded[0].job.tenant, TenantId(4));
+  EXPECT_DOUBLE_EQ(loaded[0].job.weight, 2.5);
+  std::filesystem::remove(path);
+}
+
+TEST(Arrivals, TraceRoundTripsQuotedNames) {
+  // Commas, quotes and newlines inside job names must survive save->load
+  // (the writer escapes, the record-level reader inverts it).
+  Arrival a;
+  a.time = 3.0;
+  a.job.name = "weird, \"name\"\nwith newline";
+  a.job.kind = mapreduce::JobKind::kTerasort;
+  a.job.nominal_gb = 12.5;
+  a.job.map_count = 5;
+  a.job.reduce_count = 2;
+  a.job.tenant = TenantId(1);
+  a.job.weight = 3.0;
+  a.job.job_id = "1";
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pnats_arrivals_q.csv")
+          .string();
+  save_arrival_trace(path, std::vector<Arrival>{a});
+  const auto loaded = load_arrival_trace(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_TRUE(loaded[0] == a);
+  std::filesystem::remove(path);
+}
+
+TEST(Arrivals, MalformedNumericReportsPathAndLine) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pnats_arrivals_num.csv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "time,name,kind,maps,reduces\n";
+    out << "1.0,fine,Grep,4,2\n";
+    out << "2.0,broken,Grep,4x,2\n";  // trailing junk in maps (line 3)
+  }
+  try {
+    (void)load_arrival_trace(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path + ":3"), std::string::npos) << what;
+    EXPECT_NE(what.find("maps"), std::string::npos) << what;
+  }
+  {
+    std::ofstream out(path);
+    out << "time,name,kind,maps,reduces\n";
+    out << "oops,bad_time,Grep,4,2\n";
+  }
+  try {
+    (void)load_arrival_trace(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path + ":2"), std::string::npos) << what;
+    EXPECT_NE(what.find("time"), std::string::npos) << what;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Arrivals, TraceHorizonCutRenumbersJobIds) {
+  // Ids are assigned on load (sorted order); the duration filter then
+  // drops rows from anywhere in that order, so generate_arrivals must
+  // renumber — ids stay contiguous 1..n for the engine and pairing.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pnats_arrivals_cut.csv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "time,name,kind,gb,maps,reduces,tenant,weight\n";
+    out << "700,late_a,Grep,1,4,2,0,1\n";
+    out << "10,early_a,Terasort,1,8,4,0,1\n";
+    out << "900,late_b,Wordcount,1,4,2,0,1\n";
+    out << "50,early_b,Grep,1,4,2,0,1\n";
+  }
+  ArrivalConfig replay;
+  replay.process = ArrivalProcess::kTrace;
+  replay.trace_path = path;
+  replay.duration = 600.0;
+  const auto kept = generate_arrivals(replay, Rng(0));
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].job.name, "early_a");
+  EXPECT_EQ(kept[0].job.job_id, "1");
+  EXPECT_EQ(kept[1].job.name, "early_b");
+  EXPECT_EQ(kept[1].job.job_id, "2");
+  std::filesystem::remove(path);
 }
 
 TEST(Arrivals, TraceUnsortedInputIsSortedOnLoad) {

@@ -7,6 +7,7 @@
 // Table II-shaped batch and a saturating Poisson stream.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -118,6 +119,49 @@ TEST_P(EquivalenceTest, SaturationStreamIdentical) {
                    fast.steady.map_slot_utilization);
   EXPECT_DOUBLE_EQ(naive.steady.reduce_slot_utilization,
                    fast.steady.reduce_slot_utilization);
+}
+
+TEST_P(EquivalenceTest, StreamedTraceReplayIdenticalToBuffered) {
+  // The streaming ingest path (TraceStreamReader + run_experiment_streamed,
+  // one pending arrival in memory) must reproduce the buffered trace
+  // replay record-for-record. events_processed is excluded: the streaming
+  // pump adds its own re-arm events without touching any record.
+  const auto [kind, seed] = GetParam();
+  StreamConfig cfg;
+  cfg.base = paper_config(batch_jobs(), kind, seed);
+  cfg.base.nodes = 8;
+  cfg.arrivals.process = workload::ArrivalProcess::kPoisson;
+  cfg.arrivals.rate_per_hour = 480.0;
+  cfg.arrivals.duration = 400.0;
+  cfg.arrivals.mix.map_count_scale = 0.02;
+  cfg.arrivals.mix.reduce_count_scale = 0.02;
+  cfg.warmup = 50.0;
+  const auto arrivals = stream_arrivals(cfg);
+  ASSERT_FALSE(arrivals.empty());
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("pnats_eq_trace_" + std::string(to_string(kind)) + "_" +
+        std::to_string(seed) + ".csv"))
+          .string();
+  workload::save_arrival_trace(path, arrivals);
+
+  cfg.arrivals.process = workload::ArrivalProcess::kTrace;
+  cfg.arrivals.trace_path = path;
+  StreamConfig streamed_cfg = cfg;
+  streamed_cfg.stream_trace = true;
+  const auto buffered = run_stream_experiment(cfg);
+  const auto streamed = run_stream_experiment(streamed_cfg);
+  EXPECT_TRUE(streamed.arrivals.empty());  // never buffered
+  expect_identical_records(buffered.run, streamed.run);
+  EXPECT_EQ(buffered.steady.jobs_submitted, streamed.steady.jobs_submitted);
+  EXPECT_EQ(buffered.steady.jobs_completed, streamed.steady.jobs_completed);
+  EXPECT_DOUBLE_EQ(buffered.steady.throughput_jobs_per_hour,
+                   streamed.steady.throughput_jobs_per_hour);
+  EXPECT_DOUBLE_EQ(buffered.steady.response_time.p99,
+                   streamed.steady.response_time.p99);
+  EXPECT_DOUBLE_EQ(buffered.steady.mean_jobs_in_system,
+                   streamed.steady.mean_jobs_in_system);
+  std::filesystem::remove(path);
 }
 
 TEST_P(EquivalenceTest, AlwaysAdmitControllerIsNoop) {

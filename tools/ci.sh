@@ -191,6 +191,29 @@ PNATS_QUICK=1 ./build/bench/bench_degraded_network >/dev/null
 test -s bench_out/degraded_network_quick.csv
 echo "chaos smoke: bench_out/degraded_network_quick.csv written"
 
+echo "==> trace-replay smoke: generated trace streams through the replay path"
+# Synthesize a SWIM-style production trace, replay it through the
+# memory-bounded streaming path (--stream-trace), and require the run to
+# drain with per-tenant summary lines (the generator maps users to
+# tenants). The trace header must be the canonical 8-column form.
+GEN_OUT="$(./build/tools/pnats_sim --gen-trace "$SMOKE_DIR/prod_trace.csv" \
+  --rate 400 --duration 1800 --job-scale 0.05 --gen-users 4 --seed 7)"
+echo "$GEN_OUT" | grep -q 'generated trace written'
+test -s "$SMOKE_DIR/prod_trace.csv"
+head -1 "$SMOKE_DIR/prod_trace.csv" \
+  | grep -q '^time,name,kind,gb,maps,reduces,tenant,weight$'
+TR_OUT="$(./build/tools/pnats_sim --arrivals trace \
+  --arrival-trace "$SMOKE_DIR/prod_trace.csv" --stream-trace \
+  --duration 1800 --warmup 300 --nodes 12 --racks 3 --job-scale 0.05 \
+  --seed 42 --scheduler pna --log-level warn --quiet)"
+echo "$TR_OUT" | grep -q 'drained=yes'
+echo "$TR_OUT" | grep -Eq 'tenant [0-9]+ submitted='
+echo "trace-replay smoke: streamed replay drained with per-tenant summary"
+echo "==> trace-replay smoke: quick trace-replay bench runs"
+PNATS_QUICK=1 ./build/bench/bench_trace_replay >/dev/null
+test -s bench_out/trace_replay_quick.csv
+echo "trace-replay smoke: bench_out/trace_replay_quick.csv written"
+
 echo "==> perf smoke: optimized vs naive gated benchmark families"
 ./build/bench/bench_micro_scheduler \
   --benchmark_filter='BM_PnaHeartbeat(Saturated|Hetero|Traced)|BM_FlowEventsFatTree1k' \

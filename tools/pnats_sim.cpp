@@ -84,10 +84,26 @@
 //     --rate X            mean arrival rate in jobs/hour (default 60)
 //     --duration S        arrival horizon in sim-seconds (default 3600)
 //     --warmup S          measurement window start (default duration/6)
-//     --arrival-trace F   CSV (time,name,kind,maps,reduces[,tenant,weight])
-//                         to replay when --arrivals trace
+//     --arrival-trace F   CSV (time,name,kind,gb,maps,reduces,tenant,
+//                         weight; legacy 5/7-column files load too) to
+//                         replay when --arrivals trace
+//     --stream-trace      with --arrivals trace: pull the trace through
+//                         the streaming reader (one record in memory at a
+//                         time) instead of buffering every arrival — the
+//                         memory-bounded path for production-scale traces
+//                         (requires a time-sorted file)
 //     --job-scale X       scale catalog map/reduce counts by X (quick
 //                         sweeps; default 1.0)
+//
+//   Synthetic production-trace generation (writes a trace CSV and exits;
+//   --rate/--duration/--job-scale/--seed shape the stream):
+//     --gen-trace F       stream a SWIM/Facebook-style trace (diurnal +
+//                         bursty intensity, heavy-tailed sizes, Zipf
+//                         users mapped to tenants) to F
+//     --gen-users N       synthetic user population (default 8)
+//     --gen-diurnal X     diurnal amplitude in [0,1) (default 0.6)
+//     --gen-burst X       burst-episode rate multiplier (default 3.0)
+//     --gen-sigma X       lognormal size-jitter sigma (default 1.0)
 //
 //   Multi-tenant streams (implies open-loop mode; default process poisson):
 //     --tenants N         number of tenants; each draws its own arrival
@@ -126,6 +142,7 @@
 #include "mrs/driver/result_io.hpp"
 #include "mrs/driver/stream_experiment.hpp"
 #include "mrs/metrics/summary.hpp"
+#include "mrs/workload/trace_gen.hpp"
 
 namespace {
 
@@ -156,6 +173,8 @@ using namespace mrs;
       "                 [--log-level trace|debug|info|warn|off] [--quiet]\n"
       "                 [--arrivals poisson|mmpp|trace] [--rate JOBS/H]\n"
       "                 [--duration S] [--warmup S] [--arrival-trace CSV]\n"
+      "                 [--stream-trace] [--gen-trace CSV] [--gen-users N]\n"
+      "                 [--gen-diurnal X] [--gen-burst X] [--gen-sigma X]\n"
       "                 [--job-scale X] [--tenants N] [--tenant-rates A,B]\n"
       "                 [--tenant-processes P,Q] [--tenant-bursts A,B]\n"
       "                 [--tenant-weights A,B] [--tenant-quotas A,B]\n"
@@ -413,7 +432,7 @@ int main(int argc, char** argv) {
   std::string placement = "hdfs";
   std::string distance = "load-aware";
   std::string out_dir, trace_path, jobs_file;
-  std::string arrivals_mode, arrival_trace;
+  std::string arrivals_mode, arrival_trace, gen_trace;
   std::string telemetry_out, perfetto_out, trace_out;
   std::string admission = "always-admit";
   std::string fair_order = "fair";
@@ -439,6 +458,9 @@ int main(int argc, char** argv) {
   double cost_mix = 0.0;
   bool speculation = false, quiet = false, blacklist = false;
   bool sample_node_slots = false;
+  bool stream_trace = false;
+  std::size_t gen_users = 8;
+  double gen_diurnal = 0.6, gen_burst = 3.0, gen_sigma = 1.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -501,6 +523,12 @@ int main(int argc, char** argv) {
     else if (arg == "--duration") duration = std::stod(next());
     else if (arg == "--warmup") warmup = std::stod(next());
     else if (arg == "--arrival-trace") arrival_trace = next();
+    else if (arg == "--stream-trace") stream_trace = true;
+    else if (arg == "--gen-trace") gen_trace = next();
+    else if (arg == "--gen-users") gen_users = std::stoul(next());
+    else if (arg == "--gen-diurnal") gen_diurnal = std::stod(next());
+    else if (arg == "--gen-burst") gen_burst = std::stod(next());
+    else if (arg == "--gen-sigma") gen_sigma = std::stod(next());
     else if (arg == "--job-scale") job_scale = std::stod(next());
     else if (arg == "--tenants") tenants_n = std::stoul(next());
     else if (arg == "--tenant-rates") tenant_rates = next();
@@ -626,6 +654,35 @@ int main(int argc, char** argv) {
     usage(2);
   }
 
+  // Trace generation mode: stream the synthetic production trace straight
+  // to disk (one record in memory at a time) and exit.
+  if (!gen_trace.empty()) {
+    if (duration <= 0.0 || rate <= 0.0 || job_scale <= 0.0 ||
+        gen_users == 0 || gen_diurnal < 0.0 || gen_diurnal >= 1.0 ||
+        gen_burst < 1.0 || gen_sigma < 0.0) {
+      std::fputs("--gen-trace needs --duration/--rate/--job-scale > 0, "
+                 "--gen-users >= 1, --gen-diurnal in [0,1), "
+                 "--gen-burst >= 1 and --gen-sigma >= 0\n",
+                 stderr);
+      usage(2);
+    }
+    workload::TraceGenConfig gcfg;
+    gcfg.duration = duration;
+    gcfg.mean_rate_per_hour = rate;
+    gcfg.diurnal_amplitude = gen_diurnal;
+    gcfg.burst_rate_multiplier = gen_burst;
+    gcfg.users = gen_users;
+    gcfg.mix.size_jitter_sigma = gen_sigma;
+    gcfg.mix.map_count_scale = job_scale;
+    gcfg.mix.reduce_count_scale = job_scale;
+    workload::ProductionTraceGenerator gen(gcfg, Rng(seed));
+    const std::size_t rows = workload::write_arrival_trace(gen_trace, gen);
+    std::printf("generated trace written to %s (jobs=%zu users=%zu "
+                "horizon=%.0fs mean-rate=%.1f jobs/h)\n",
+                gen_trace.c_str(), rows, gen_users, duration, rate);
+    return 0;
+  }
+
   // A tenant count alone is enough to ask for a multi-tenant stream; the
   // global process field is ignored once per-tenant processes exist.
   if (tenants_n > 0 && arrivals_mode.empty()) arrivals_mode = "poisson";
@@ -645,6 +702,10 @@ int main(int argc, char** argv) {
         usage(2);
       }
       scfg.arrivals.trace_path = arrival_trace;
+      scfg.stream_trace = stream_trace;
+    } else if (stream_trace) {
+      std::fputs("--stream-trace requires --arrivals trace\n", stderr);
+      usage(2);
     } else {
       std::fprintf(stderr, "unknown arrival process '%s'\n",
                    arrivals_mode.c_str());
@@ -740,10 +801,15 @@ int main(int argc, char** argv) {
     }
     const auto stream = driver::run_stream_experiment(scfg);
     const auto& ss = stream.steady;
+    // Streamed traces never buffer the arrival vector; count from the
+    // per-job records instead.
+    const std::size_t arrival_count = stream.arrivals.empty()
+                                          ? stream.run.job_records.size()
+                                          : stream.arrivals.size();
     std::printf("%s: drained=%s arrivals=%zu makespan=%.1fs\n",
                 stream.run.scheduler_name.c_str(),
-                stream.run.completed ? "yes" : "NO",
-                stream.arrivals.size(), stream.run.makespan);
+                stream.run.completed ? "yes" : "NO", arrival_count,
+                stream.run.makespan);
     std::printf("steady-state [%.0fs, %.0fs): offered=%.1f jobs/h "
                 "goodput=%.1f jobs/h submitted=%zu completed=%zu "
                 "(%.1f MiB/s offered)\n",
@@ -803,6 +869,10 @@ int main(int argc, char** argv) {
     return stream.run.completed ? 0 : 1;
   }
 
+  if (stream_trace) {
+    std::fputs("--stream-trace requires --arrivals trace\n", stderr);
+    usage(2);
+  }
   if (!quiet) {
     std::printf("pnats_sim: %zu jobs | %zu nodes x %zu racks | "
                 "scheduler=%s seed=%llu\n",
